@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Ablation benches for the design choices DESIGN.md calls out (beyond
+ * the paper's Fig. 12):
+ *
+ *  1. The three Fig. 5 communication-scheduling optimisations,
+ *     toggled individually, to show where the overlap comes from.
+ *  2. Fine-grained recomputation granularity (Sec. 4): expert-only
+ *     recompute vs full-layer recompute (which re-issues the token
+ *     All-to-All) vs no recomputation.
+ */
+
+#include <iostream>
+
+#include "core/table.hh"
+#include "runtime/training_sim.hh"
+
+namespace
+{
+
+double
+meanIterMs(const laer::SimulatorConfig &cfg, const laer::Cluster &c)
+{
+    laer::TrainingSimulator sim(c, cfg);
+    for (int i = 0; i < 3; ++i)
+        sim.step();
+    return 1e3 * laer::TrainingSimulator::meanTime(sim.run(8));
+}
+
+laer::SimulatorConfig
+baseConfig(const laer::Cluster &cluster)
+{
+    laer::SimulatorConfig cfg;
+    cfg.model = laer::mixtral8x7bE8K2();
+    cfg.system = laer::SystemKind::Laer;
+    cfg.capacity = 2;
+    cfg.simulatedLayers = 4;
+    cfg.routing = laer::RoutingModel::wikitext(cluster.numDevices(), 8,
+                                               2, 16384);
+    cfg.seed = 33;
+    return cfg;
+}
+
+void
+scheduleAblation(const laer::Cluster &cluster)
+{
+    struct Variant
+    {
+        const char *name;
+        laer::ScheduleFlags flags;
+    };
+    const Variant variants[] = {
+        {"all optimisations", laer::ScheduleFlags::all()},
+        {"no relaxed prefetch (Fig. 5b off)", {false, true, true}},
+        {"no prefetch-after-A2A (Fig. 5c off)", {true, false, true}},
+        {"no delayed grad sync (Fig. 5e off)", {true, true, false}},
+        {"none (Fig. 5a default)", laer::ScheduleFlags::none()},
+    };
+    laer::Table table("Schedule-optimisation ablation "
+                      "(Mixtral-8x7B e8k2, LAER-MoE)");
+    table.setHeader({"variant", "iter_ms", "exposed_prefetch_ms",
+                     "exposed_gradsync_ms", "slowdown"});
+    double base_ms = 0.0;
+    for (const Variant &v : variants) {
+        laer::SimulatorConfig cfg = baseConfig(cluster);
+        cfg.flags = v.flags;
+        laer::TrainingSimulator sim(cluster, cfg);
+        for (int i = 0; i < 3; ++i)
+            sim.step();
+        double t = 0, pf = 0, gs = 0;
+        const int iters = 8;
+        for (int i = 0; i < iters; ++i) {
+            const auto r = sim.step();
+            t += 1e3 * r.time / iters;
+            pf += 1e3 * r.exposedPrefetch / iters;
+            gs += 1e3 * r.exposedGradSync / iters;
+        }
+        if (base_ms == 0.0)
+            base_ms = t;
+        table.startRow();
+        table.cell(v.name);
+        table.cell(t, 1);
+        table.cell(pf, 1);
+        table.cell(gs, 1);
+        table.cell(t / base_ms, 3);
+    }
+    table.print(std::cout);
+}
+
+void
+recomputeAblation(const laer::Cluster &cluster)
+{
+    struct Variant
+    {
+        const char *name;
+        bool checkpointing;
+        laer::RecomputeMode mode;
+    };
+    const Variant variants[] = {
+        {"expert-only recompute (paper)", true,
+         laer::RecomputeMode::ExpertOnly},
+        {"attention-only recompute", true,
+         laer::RecomputeMode::AttentionOnly},
+        {"full-layer recompute (extra A2A)", true,
+         laer::RecomputeMode::Full},
+        {"no recomputation", false, laer::RecomputeMode::None},
+    };
+    laer::Table table("Fine-grained recomputation ablation (Sec. 4)");
+    table.setHeader({"variant", "iter_ms", "vs expert-only"});
+    double base_ms = 0.0;
+    for (const Variant &v : variants) {
+        laer::SimulatorConfig cfg = baseConfig(cluster);
+        cfg.checkpointing = v.checkpointing;
+        cfg.recompute = v.mode;
+        const double t = meanIterMs(cfg, cluster);
+        if (base_ms == 0.0)
+            base_ms = t;
+        table.startRow();
+        table.cell(v.name);
+        table.cell(t, 1);
+        table.cell(t / base_ms, 3);
+    }
+    table.print(std::cout);
+    std::cout << "(no-recompute is fastest but needs the full "
+                 "activation footprint; expert-only recoups memory "
+                 "without re-running the All-to-All)\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    const laer::Cluster cluster = laer::Cluster::a100(4);
+    scheduleAblation(cluster);
+    std::cout << "\n";
+    recomputeAblation(cluster);
+    return 0;
+}

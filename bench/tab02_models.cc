@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Tab. 2 — configurations of the evaluated models: layer counts,
+ * total parameters and activated parameters, regenerated from the
+ * model arithmetic.
+ */
+
+#include <iostream>
+
+#include "core/table.hh"
+#include "model/config.hh"
+#include "model/memory.hh"
+
+int
+main()
+{
+    laer::Table table("Tab. 2 — evaluated model configurations");
+    table.setHeader({"Model", "Layers", "Params(B)", "Activs(B)",
+                     "E&K", "ExpertParams(M)"});
+    for (const laer::ModelConfig &cfg : laer::allEvaluatedModels()) {
+        table.startRow();
+        table.cell(cfg.name);
+        table.cell(cfg.layers);
+        table.cell(static_cast<double>(cfg.totalParams()) / 1e9, 2);
+        table.cell(static_cast<double>(cfg.activatedParams()) / 1e9, 2);
+        table.cell(std::to_string(cfg.numExperts) + "&" +
+                   std::to_string(cfg.topK));
+        table.cell(static_cast<double>(cfg.expertParams()) / 1e6, 1);
+    }
+    table.print(std::cout);
+
+    laer::Table mem("Per-device model state at N=32 (Sec. 3.1)");
+    mem.setHeader({"Model", "FSEP(GB)", "FSDP+EP(GB)",
+                   "Megatron tp4(GB)"});
+    for (const laer::ModelConfig &cfg : laer::allEvaluatedModels()) {
+        const int cap = cfg.numExperts == 8 ? 2 : 4;
+        const auto fsep = laer::fsepModelState(cfg, 32, cap);
+        const auto fsdp = laer::fsdpEpModelState(cfg, 32, cap);
+        const auto mega = laer::megatronModelState(
+            cfg, 32, cfg.numExperts / cap, 4);
+        mem.startRow();
+        mem.cell(cfg.name);
+        mem.cell(static_cast<double>(fsep.total()) / 1e9, 1);
+        mem.cell(static_cast<double>(fsdp.total()) / 1e9, 1);
+        mem.cell(static_cast<double>(mega.total()) / 1e9, 1);
+    }
+    mem.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * SmartMoE-style planner (Zhai et al., ATC'23): relocation only, at a
+ * low frequency.
+ *
+ * SmartMoE changes WHERE experts live but never replicates them, and —
+ * because a relocation migrates parameters and optimizer state — it
+ * only re-plans every `period` iterations using the routing history
+ * accumulated since the last re-plan (Sec. 1: "regulates relocation
+ * frequency to be low").
+ */
+
+#ifndef LAER_BASELINES_SMARTMOE_HH
+#define LAER_BASELINES_SMARTMOE_HH
+
+#include "planner/types.hh"
+#include "topo/cluster.hh"
+
+namespace laer
+{
+
+/** SmartMoE knobs. */
+struct SmartMoeConfig
+{
+    int capacity = 2;    //!< expert slots per device
+    int period = 100;    //!< iterations between re-layouts
+    Bytes expertBytes = 0; //!< migration volume accounting
+};
+
+/** Result of one observe() call. */
+struct SmartMoeStep
+{
+    bool relayouted = false;
+    Seconds migrationTime = 0.0;
+};
+
+/**
+ * Stateful SmartMoE planner: accumulates expert loads, re-places all
+ * experts (evenly replicated to fill the N*C slots, since capacity is
+ * fixed by memory, with placement chosen by the greedy relocator)
+ * every `period` iterations.
+ */
+class SmartMoePlanner
+{
+  public:
+    SmartMoePlanner(const Cluster &cluster, int n_experts,
+                    const SmartMoeConfig &config);
+
+    /** Current layout. */
+    const ExpertLayout &layout() const { return layout_; }
+
+    /** Feed one iteration's routing matrix; may trigger a re-layout. */
+    SmartMoeStep observe(const RoutingMatrix &routing);
+
+  private:
+    const Cluster &cluster_;
+    SmartMoeConfig config_;
+    ExpertLayout layout_;
+    std::vector<double> loadHistory_;
+    int sinceRelayout_ = 0;
+};
+
+} // namespace laer
+
+#endif // LAER_BASELINES_SMARTMOE_HH

@@ -1,0 +1,161 @@
+#include "comm/collectives.hh"
+
+#include <algorithm>
+
+#include "core/error.hh"
+
+namespace laer
+{
+
+VolumeMatrix
+zeroVolume(int n_devices)
+{
+    return VolumeMatrix(n_devices, std::vector<Bytes>(n_devices, 0));
+}
+
+Seconds
+a2aPairSumCost(const Cluster &cluster, const VolumeMatrix &volume)
+{
+    const int n = cluster.numDevices();
+    LAER_ASSERT(static_cast<int>(volume.size()) == n,
+                "volume matrix does not match cluster");
+    Seconds cost = 0.0;
+    for (DeviceId i = 0; i < n; ++i) {
+        for (DeviceId k = 0; k < n; ++k) {
+            if (i == k || volume[i][k] == 0)
+                continue;
+            cost += static_cast<double>(volume[i][k]) / cluster.bw(i, k);
+        }
+    }
+    return cost;
+}
+
+Seconds
+a2aBottleneckTime(const Cluster &cluster, const VolumeMatrix &volume)
+{
+    const int n = cluster.numDevices();
+    LAER_ASSERT(static_cast<int>(volume.size()) == n,
+                "volume matrix does not match cluster");
+    // Per-device send/recv occupancy split by port class.
+    Seconds busiest = 0.0;
+    for (DeviceId d = 0; d < n; ++d) {
+        Bytes send_intra = 0, send_inter = 0;
+        Bytes recv_intra = 0, recv_inter = 0;
+        for (DeviceId o = 0; o < n; ++o) {
+            if (o == d)
+                continue;
+            if (cluster.sameNode(d, o)) {
+                send_intra += volume[d][o];
+                recv_intra += volume[o][d];
+            } else {
+                send_inter += volume[d][o];
+                recv_inter += volume[o][d];
+            }
+        }
+        const Seconds send_t =
+            static_cast<double>(send_intra) / cluster.intraBw() +
+            static_cast<double>(send_inter) / cluster.interBw();
+        const Seconds recv_t =
+            static_cast<double>(recv_intra) / cluster.intraBw() +
+            static_cast<double>(recv_inter) / cluster.interBw();
+        busiest = std::max({busiest, send_t, recv_t});
+    }
+    if (busiest == 0.0)
+        return 0.0;
+    return kCollectiveAlpha + busiest;
+}
+
+Seconds
+a2aUniformTime(const Cluster &cluster, const std::vector<DeviceId> &group,
+               Bytes bytes_per_pair)
+{
+    const int p = static_cast<int>(group.size());
+    if (p <= 1 || bytes_per_pair == 0)
+        return 0.0;
+    // Sec. 3.1: regular balanced All-to-All — each device sends the
+    // same volume to every peer, so the busiest port defines the time.
+    Seconds busiest = 0.0;
+    for (DeviceId d : group) {
+        Bytes intra = 0, inter = 0;
+        for (DeviceId o : group) {
+            if (o == d)
+                continue;
+            (cluster.sameNode(d, o) ? intra : inter) += bytes_per_pair;
+        }
+        const Seconds t = static_cast<double>(intra) / cluster.intraBw() +
+                          static_cast<double>(inter) / cluster.interBw();
+        busiest = std::max(busiest, t);
+    }
+    return kCollectiveAlpha + busiest;
+}
+
+namespace
+{
+
+/** Slowest edge along the natural ring ordering of a device group. */
+double
+ringBottleneckBw(const Cluster &cluster, const std::vector<DeviceId> &group)
+{
+    const int p = static_cast<int>(group.size());
+    double min_bw = cluster.intraBw();
+    for (int i = 0; i < p; ++i) {
+        const DeviceId a = group[i];
+        const DeviceId b = group[(i + 1) % p];
+        min_bw = std::min(min_bw, cluster.bw(a, b));
+    }
+    return min_bw;
+}
+
+} // namespace
+
+Seconds
+allGatherTime(const Cluster &cluster, const std::vector<DeviceId> &group,
+              Bytes bytes_total)
+{
+    const int p = static_cast<int>(group.size());
+    if (p <= 1 || bytes_total == 0)
+        return 0.0;
+    const double bw = ringBottleneckBw(cluster, group);
+    const double wire =
+        static_cast<double>(bytes_total) * (p - 1) / p;
+    return kCollectiveAlpha + wire / bw;
+}
+
+Seconds
+reduceScatterTime(const Cluster &cluster, const std::vector<DeviceId> &group,
+                  Bytes bytes_total)
+{
+    return allGatherTime(cluster, group, bytes_total);
+}
+
+Seconds
+allReduceTime(const Cluster &cluster, const std::vector<DeviceId> &group,
+              Bytes bytes_total)
+{
+    if (group.size() <= 1 || bytes_total == 0)
+        return 0.0;
+    return reduceScatterTime(cluster, group, bytes_total) +
+           allGatherTime(cluster, group, bytes_total);
+}
+
+Seconds
+p2pTime(const Cluster &cluster, DeviceId src, DeviceId dst, Bytes bytes)
+{
+    if (src == dst || bytes == 0)
+        return 0.0;
+    return kCollectiveAlpha +
+           static_cast<double>(bytes) / cluster.bw(src, dst);
+}
+
+Bytes
+totalWireBytes(const VolumeMatrix &volume)
+{
+    Bytes total = 0;
+    for (std::size_t i = 0; i < volume.size(); ++i)
+        for (std::size_t k = 0; k < volume[i].size(); ++k)
+            if (i != k)
+                total += volume[i][k];
+    return total;
+}
+
+} // namespace laer

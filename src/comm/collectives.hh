@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Collective-communication cost models.
+ *
+ * Two flavours coexist on purpose:
+ *  - planner-style costs reproduce the paper's analytical objective
+ *    (Sec. 3.2: per-pair volumes divided by bw(i, k) and summed), and
+ *  - runtime-style costs model what a NCCL-like implementation
+ *    actually achieves: all pairs progress in parallel and each
+ *    device's NIC / NVLink occupancy is the bottleneck.
+ * The planner optimises the former; the simulator charges the latter.
+ */
+
+#ifndef LAER_COMM_COLLECTIVES_HH
+#define LAER_COMM_COLLECTIVES_HH
+
+#include <vector>
+
+#include "core/types.hh"
+#include "topo/cluster.hh"
+
+namespace laer
+{
+
+/** Per-operation launch/latency overhead of one collective (seconds).
+ * Approximates NCCL kernel launch plus rendezvous on small messages. */
+constexpr Seconds kCollectiveAlpha = 20e-6;
+
+/** Per-device byte matrix for an All-to-All: volume[i][k] is sent from
+ * device i to device k. Diagonal entries are local copies. */
+using VolumeMatrix = std::vector<std::vector<Bytes>>;
+
+/** Build an N x N zero volume matrix. */
+VolumeMatrix zeroVolume(int n_devices);
+
+/**
+ * Paper-style All-to-All cost: sum over all (i, k) pairs of
+ * volume / bw(i, k). This is the communication term the planner's
+ * objective uses (T_comm in Eq. 2 before the 4x multiplier).
+ */
+Seconds a2aPairSumCost(const Cluster &cluster, const VolumeMatrix &volume);
+
+/**
+ * Runtime All-to-All duration under a per-port occupancy model: every
+ * device sends and receives concurrently; intra-node traffic shares
+ * the NVLink port, inter-node traffic the NIC. The op finishes when
+ * the busiest port drains. Local (diagonal) traffic is free.
+ */
+Seconds a2aBottleneckTime(const Cluster &cluster,
+                          const VolumeMatrix &volume);
+
+/**
+ * Balanced All-to-All over a device group where every device exchanges
+ * `bytes_per_pair` with every other member (FSEP unshard/reshard uses
+ * exactly this pattern). `group` holds global device ids.
+ */
+Seconds a2aUniformTime(const Cluster &cluster,
+                       const std::vector<DeviceId> &group,
+                       Bytes bytes_per_pair);
+
+/**
+ * Ring AllGather over `group`: each device ends with `bytes_total`
+ * (the gathered buffer); (P-1)/P of it crosses the slowest ring edge.
+ */
+Seconds allGatherTime(const Cluster &cluster,
+                      const std::vector<DeviceId> &group, Bytes bytes_total);
+
+/** Ring ReduceScatter: same wire cost as AllGather. */
+Seconds reduceScatterTime(const Cluster &cluster,
+                          const std::vector<DeviceId> &group,
+                          Bytes bytes_total);
+
+/** Ring AllReduce = ReduceScatter + AllGather. */
+Seconds allReduceTime(const Cluster &cluster,
+                      const std::vector<DeviceId> &group, Bytes bytes_total);
+
+/** Point-to-point transfer time between two devices. */
+Seconds p2pTime(const Cluster &cluster, DeviceId src, DeviceId dst,
+                Bytes bytes);
+
+/** Sum of all off-diagonal bytes in a volume matrix. */
+Bytes totalWireBytes(const VolumeMatrix &volume);
+
+} // namespace laer
+
+#endif // LAER_COMM_COLLECTIVES_HH

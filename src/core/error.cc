@@ -1,0 +1,22 @@
+#include "core/error.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace laer
+{
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+} // namespace laer

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Small descriptive-statistics helpers used by traces and benches.
+ */
+
+#ifndef LAER_CORE_STATS_HH
+#define LAER_CORE_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace laer
+{
+
+/** Arithmetic mean; 0 for empty input. */
+double mean(const std::vector<double> &xs);
+
+/** Population standard deviation; 0 for fewer than two samples. */
+double stddev(const std::vector<double> &xs);
+
+/** Maximum element; 0 for empty input. */
+double maxOf(const std::vector<double> &xs);
+
+/** Minimum element; 0 for empty input. */
+double minOf(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolated percentile, p in [0, 100]; 0 for empty input.
+ */
+double percentile(std::vector<double> xs, double p);
+
+/**
+ * Load-imbalance factor: max / mean. Equals 1 for perfectly balanced
+ * loads and grows with skew; the paper's Fig. 10(b) plots exactly this
+ * quantity ("relative maximum token count").
+ */
+double imbalanceFactor(const std::vector<double> &loads);
+
+/**
+ * Coefficient of variation (stddev / mean); 0 when the mean is 0.
+ */
+double coefficientOfVariation(const std::vector<double> &xs);
+
+/** Running mean/min/max accumulator for streaming bench output. */
+class Accumulator
+{
+  public:
+    /** Fold one sample into the summary. */
+    void add(double x);
+
+    /** Number of samples folded so far. */
+    std::int64_t count() const { return count_; }
+
+    /** Mean of the samples, 0 if empty. */
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** Smallest sample, 0 if empty. */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** Largest sample, 0 if empty. */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+  private:
+    std::int64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace laer
+
+#endif // LAER_CORE_STATS_HH

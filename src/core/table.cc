@@ -1,0 +1,87 @@
+#include "core/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "core/error.hh"
+
+namespace laer
+{
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void
+Table::setHeader(const std::vector<std::string> &names)
+{
+    header_ = names;
+}
+
+void
+Table::startRow()
+{
+    rows_.emplace_back();
+}
+
+void
+Table::cell(const std::string &value)
+{
+    LAER_ASSERT(!rows_.empty(), "cell() before startRow()");
+    rows_.back().push_back(value);
+}
+
+void
+Table::cell(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    cell(oss.str());
+}
+
+void
+Table::cell(std::int64_t value)
+{
+    cell(std::to_string(value));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    os << "== " << title_ << " ==\n";
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &v = c < row.size() ? row[c] : std::string();
+            os << "  " << std::left << std::setw(static_cast<int>(widths[c]))
+               << v;
+        }
+        os << "\n";
+    };
+    emit_row(header_);
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ",";
+            os << row[c];
+        }
+        os << "\n";
+    };
+    emit_row(header_);
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+} // namespace laer

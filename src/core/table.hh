@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Console table emitter for benchmark binaries.
+ *
+ * Every bench prints the same rows/series the paper's figure or table
+ * reports; Table renders them as aligned text and optionally as CSV so
+ * results can be diffed across runs.
+ */
+
+#ifndef LAER_CORE_TABLE_HH
+#define LAER_CORE_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace laer
+{
+
+/**
+ * A simple column-aligned table with a title, header row and string
+ * cells. Numeric convenience overloads format with fixed precision.
+ */
+class Table
+{
+  public:
+    /** Create a table; `title` is printed above the grid. */
+    explicit Table(std::string title);
+
+    /** Set the column headers; defines the column count. */
+    void setHeader(const std::vector<std::string> &names);
+
+    /** Begin a new row. */
+    void startRow();
+
+    /** Append a string cell to the current row. */
+    void cell(const std::string &value);
+
+    /** Append a formatted double cell (fixed, `precision` digits). */
+    void cell(double value, int precision = 3);
+
+    /** Append an integer cell. */
+    void cell(std::int64_t value);
+    void cell(int value) { cell(static_cast<std::int64_t>(value)); }
+
+    /** Render the aligned table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header + rows). */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace laer
+
+#endif // LAER_CORE_TABLE_HH

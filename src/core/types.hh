@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every LAER-MoE module.
+ *
+ * The simulator measures time in seconds (double) and data in bytes
+ * (std::int64_t). Token counts are kept as 64-bit integers because a
+ * single 8K-context iteration over 32 devices already routes several
+ * million tokens per layer.
+ */
+
+#ifndef LAER_CORE_TYPES_HH
+#define LAER_CORE_TYPES_HH
+
+#include <cstdint>
+
+namespace laer
+{
+
+/** Index of a device (GPU) within the cluster, in [0, N). */
+using DeviceId = int;
+
+/** Index of a node (host) within the cluster. */
+using NodeId = int;
+
+/** Index of an expert within one MoE layer, in [0, E). */
+using ExpertId = int;
+
+/** Index of a Transformer layer. */
+using LayerId = int;
+
+/** Number of routed tokens; may be fractional mid-computation. */
+using TokenCount = std::int64_t;
+
+/** Data volume in bytes. */
+using Bytes = std::int64_t;
+
+/** Wall-clock / simulated time in seconds. */
+using Seconds = double;
+
+/** Floating point work amounts (FLOPs etc.). */
+using Flops = double;
+
+} // namespace laer
+
+#endif // LAER_CORE_TYPES_HH

@@ -1,0 +1,140 @@
+#include "fsep/sharded_experts.hh"
+
+#include "core/error.hh"
+
+namespace laer
+{
+
+ShardedExperts::ShardedExperts(const ExpertWeights &experts, int n_devices)
+    : numDevices_(n_devices), numExperts_(static_cast<int>(experts.size()))
+{
+    LAER_CHECK(numExperts_ > 0, "no experts to shard");
+    LAER_CHECK(n_devices > 0, "need at least one device");
+    expertSize_ = static_cast<int>(experts.front().size());
+    LAER_CHECK(expertSize_ > 0, "empty expert parameters");
+    LAER_CHECK(expertSize_ % n_devices == 0,
+               "expert size must divide by device count (pad upstream)");
+    for (const auto &w : experts)
+        LAER_CHECK(static_cast<int>(w.size()) == expertSize_,
+                   "experts must share one flattened size");
+
+    const int chunk = chunkSize();
+    chunks_.assign(numDevices_, {});
+    for (DeviceId d = 0; d < numDevices_; ++d) {
+        chunks_[d].resize(numExperts_);
+        for (ExpertId e = 0; e < numExperts_; ++e) {
+            const auto begin = experts[e].begin() +
+                               static_cast<std::ptrdiff_t>(d) * chunk;
+            chunks_[d][e].assign(begin, begin + chunk);
+        }
+    }
+}
+
+const std::vector<float> &
+ShardedExperts::chunk(DeviceId d, ExpertId e) const
+{
+    LAER_ASSERT(d >= 0 && d < numDevices_ && e >= 0 && e < numExperts_,
+                "chunk index out of range");
+    return chunks_[d][e];
+}
+
+UnshardResult
+ShardedExperts::unshard(const ExpertLayout &layout) const
+{
+    LAER_CHECK(layout.numDevices() == numDevices_ &&
+               layout.numExperts() == numExperts_,
+               "layout shape mismatch");
+    const int chunk = chunkSize();
+    const Bytes chunk_bytes = static_cast<Bytes>(chunk) * sizeof(float);
+
+    UnshardResult result;
+    result.restored.resize(numDevices_);
+    result.traffic = zeroVolume(numDevices_);
+
+    for (DeviceId d = 0; d < numDevices_; ++d) {
+        for (ExpertId e = 0; e < numExperts_; ++e) {
+            if (layout.at(d, e) == 0)
+                continue;
+            std::vector<float> full(expertSize_);
+            for (DeviceId src = 0; src < numDevices_; ++src) {
+                const auto &piece = chunks_[src][e];
+                std::copy(piece.begin(), piece.end(),
+                          full.begin() +
+                              static_cast<std::ptrdiff_t>(src) * chunk);
+                if (src != d)
+                    result.traffic[src][d] += chunk_bytes;
+            }
+            result.restored[d].emplace_back(e, std::move(full));
+        }
+    }
+    return result;
+}
+
+ReshardResult
+ShardedExperts::reshard(
+    const ExpertLayout &layout,
+    const std::vector<std::vector<std::pair<ExpertId, std::vector<float>>>>
+        &grads) const
+{
+    LAER_CHECK(static_cast<int>(grads.size()) == numDevices_,
+               "gradient list must cover every device");
+    const int chunk = chunkSize();
+    const Bytes chunk_bytes = static_cast<Bytes>(chunk) * sizeof(float);
+
+    ReshardResult result;
+    result.traffic = zeroVolume(numDevices_);
+    result.chunks.assign(
+        numDevices_,
+        std::vector<std::vector<float>>(
+            numExperts_, std::vector<float>(chunk, 0.0f)));
+
+    for (DeviceId holder = 0; holder < numDevices_; ++holder) {
+        for (const auto &[expert, grad] : grads[holder]) {
+            LAER_CHECK(expert >= 0 && expert < numExperts_,
+                       "gradient for unknown expert");
+            LAER_CHECK(layout.at(holder, expert) > 0,
+                       "gradient from device not hosting the expert");
+            LAER_CHECK(static_cast<int>(grad.size()) == expertSize_,
+                       "gradient size mismatch");
+            // Fig. 4b: slice into N chunks; chunk d reduces onto
+            // device d's shard of this expert.
+            for (DeviceId owner = 0; owner < numDevices_; ++owner) {
+                auto &acc = result.chunks[owner][expert];
+                const auto begin =
+                    grad.begin() +
+                    static_cast<std::ptrdiff_t>(owner) * chunk;
+                for (int i = 0; i < chunk; ++i)
+                    acc[i] += *(begin + i);
+                if (owner != holder)
+                    result.traffic[holder][owner] += chunk_bytes;
+            }
+        }
+    }
+    return result;
+}
+
+void
+ShardedExperts::applyGrad(const ReshardResult &reduced, float lr)
+{
+    const int chunk = chunkSize();
+    for (DeviceId d = 0; d < numDevices_; ++d)
+        for (ExpertId e = 0; e < numExperts_; ++e)
+            for (int i = 0; i < chunk; ++i)
+                chunks_[d][e][i] -= lr * reduced.chunks[d][e][i];
+}
+
+ExpertWeights
+ShardedExperts::gatherFull() const
+{
+    const int chunk = chunkSize();
+    ExpertWeights full(numExperts_,
+                       std::vector<float>(expertSize_, 0.0f));
+    for (ExpertId e = 0; e < numExperts_; ++e)
+        for (DeviceId d = 0; d < numDevices_; ++d)
+            std::copy(chunks_[d][e].begin(), chunks_[d][e].end(),
+                      full[e].begin() +
+                          static_cast<std::ptrdiff_t>(d) * chunk);
+    return full;
+}
+
+} // namespace laer

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Data-level FSEP executor (paper Sec. 3.1, Fig. 4).
+ *
+ * Implements shard / unshard / reshard on real buffers so the layout
+ * algebra can be verified bit-exactly:
+ *  - shard: flatten every expert, cut it into N equal chunks, device d
+ *    keeps chunk d of every expert (Fig. 4a "Flatten & Divide");
+ *  - unshard: given an expert layout A, every device restores the full
+ *    parameters of its assigned experts via All-to-All (each device
+ *    contributes its chunk of each requested expert);
+ *  - reshard: the inverse — every device slices the gradients of its
+ *    hosted experts into N chunks, sends chunk d to device d, and each
+ *    owner reduces the contributions across all replicas (Fig. 4b).
+ *
+ * Every simulated transfer is counted in a VolumeMatrix so tests can
+ * check the executor against the analytic V_fsep formula.
+ */
+
+#ifndef LAER_FSEP_SHARDED_EXPERTS_HH
+#define LAER_FSEP_SHARDED_EXPERTS_HH
+
+#include <vector>
+
+#include "comm/collectives.hh"
+#include "planner/types.hh"
+
+namespace laer
+{
+
+/** Full parameters of all experts: experts[e] is a flat float vector. */
+using ExpertWeights = std::vector<std::vector<float>>;
+
+/** Per-device restored experts after unshard. */
+struct UnshardResult
+{
+    /** restored[d] lists (expert id, full parameter vector) pairs in
+     * expert-id order for device d. */
+    std::vector<std::vector<std::pair<ExpertId, std::vector<float>>>>
+        restored;
+    VolumeMatrix traffic; //!< bytes moved device-to-device
+};
+
+/** Per-device reduced gradient chunks after reshard. */
+struct ReshardResult
+{
+    /** chunks[d][e] is device d's (reduced) gradient chunk of expert
+     * e, of length expertSize / N. */
+    std::vector<std::vector<std::vector<float>>> chunks;
+    VolumeMatrix traffic; //!< bytes moved device-to-device
+};
+
+/**
+ * The sharded parameter store of one MoE layer under FSEP.
+ */
+class ShardedExperts
+{
+  public:
+    /**
+     * Shard full expert weights over `n_devices` (Fig. 4a). Expert
+     * sizes must be equal and divisible by the device count.
+     */
+    ShardedExperts(const ExpertWeights &experts, int n_devices);
+
+    int numDevices() const { return numDevices_; }
+    int numExperts() const { return numExperts_; }
+
+    /** Flat parameter count of one expert. */
+    int expertSize() const { return expertSize_; }
+
+    /** Chunk length held per device per expert. */
+    int chunkSize() const { return expertSize_ / numDevices_; }
+
+    /** Device d's chunk of expert e (read-only). */
+    const std::vector<float> &chunk(DeviceId d, ExpertId e) const;
+
+    /**
+     * Restore full expert parameters per the layout (Fig. 4a
+     * "All-to-All unshard"). Each device receives the chunks of every
+     * expert it hosts from all peers; its own chunk is a local copy.
+     */
+    UnshardResult unshard(const ExpertLayout &layout) const;
+
+    /**
+     * Re-partition and reduce expert gradients (Fig. 4b). `grads[d]`
+     * holds, for each expert hosted on device d (in expert-id order),
+     * the full-size gradient that device computed.
+     */
+    ReshardResult
+    reshard(const ExpertLayout &layout,
+            const std::vector<std::vector<std::pair<ExpertId,
+                                                    std::vector<float>>>>
+                &grads) const;
+
+    /**
+     * Apply reduced gradient chunks to the sharded parameters with a
+     * plain SGD step — closes the training loop for integration tests.
+     */
+    void applyGrad(const ReshardResult &reduced, float lr);
+
+    /** Reassemble the full weights (inverse of shard) for testing. */
+    ExpertWeights gatherFull() const;
+
+  private:
+    int numDevices_ = 0;
+    int numExperts_ = 0;
+    int expertSize_ = 0;
+    /** chunks_[d][e]: device d's shard of expert e. */
+    std::vector<std::vector<std::vector<float>>> chunks_;
+};
+
+} // namespace laer
+
+#endif // LAER_FSEP_SHARDED_EXPERTS_HH

@@ -1,0 +1,62 @@
+#include "fsep/volume.hh"
+
+#include <cmath>
+
+#include "core/error.hh"
+
+namespace laer
+{
+
+Bytes
+fsepUnshardVolume(int n_devices, int capacity, Bytes expert_bytes)
+{
+    LAER_CHECK(n_devices >= 1 && capacity >= 1, "bad FSEP shape");
+    return static_cast<Bytes>(
+        static_cast<double>(capacity) * (n_devices - 1) / n_devices *
+        static_cast<double>(expert_bytes));
+}
+
+Bytes
+fsdpUnshardVolume(int p_fsdp, int capacity, Bytes expert_bytes)
+{
+    LAER_CHECK(p_fsdp >= 1 && capacity >= 1, "bad FSDP shape");
+    return static_cast<Bytes>(
+        static_cast<double>(p_fsdp - 1) / p_fsdp *
+        static_cast<double>(capacity) *
+        static_cast<double>(expert_bytes));
+}
+
+double
+fsepToFsdpVolumeRatio(int p_fsep, int p_fsdp)
+{
+    LAER_CHECK(p_fsep > 1 && p_fsdp > 1, "ratio needs degrees > 1");
+    return (static_cast<double>(p_fsep - 1) * p_fsdp) /
+           (static_cast<double>(p_fsep) * (p_fsdp - 1));
+}
+
+TokenCount
+overlapThresholdTokens(int capacity, int top_k, Bytes expert_bytes,
+                       Flops flops_per_token, double compute_flops,
+                       double wire_bw)
+{
+    LAER_CHECK(top_k >= 1 && flops_per_token > 0, "bad workload shape");
+    // Computation time >= prefetch time:
+    //   S * K * V_comp / B_comp >= C * Psi_expert / B_wire
+    const double comm_time =
+        static_cast<double>(capacity) *
+        static_cast<double>(expert_bytes) / wire_bw;
+    const double per_token_time =
+        static_cast<double>(top_k) * flops_per_token / compute_flops;
+    return static_cast<TokenCount>(std::ceil(comm_time / per_token_time));
+}
+
+Bytes
+relocationMigrationVolume(Bytes expert_bytes)
+{
+    // bf16 param + bf16 grad + fp32 master + two fp32 Adam moments
+    // relative to the bf16 parameter size: (2+2+4+4+4)/2 = 6x? The
+    // paper quotes ~6x the parameter size; optimizer state dominates.
+    return 6 * expert_bytes;
+}
+
+} // namespace laer

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Analytic communication-volume and overlap formulas (paper Sec. 3.1).
+ */
+
+#ifndef LAER_FSEP_VOLUME_HH
+#define LAER_FSEP_VOLUME_HH
+
+#include "core/types.hh"
+
+namespace laer
+{
+
+/**
+ * Per-device FSEP unshard (or reshard) volume:
+ *   V_fsep = C * (P_fsep - 1) / P_fsep * Psi_expert
+ * where P_fsep = N. Send and receive volumes are equal.
+ */
+Bytes fsepUnshardVolume(int n_devices, int capacity, Bytes expert_bytes);
+
+/**
+ * Per-device FSDP AllGather volume in the traditional FSDP+EP
+ * paradigm: V_fsdp = (P_fsdp - 1) / P_fsdp * C * Psi_expert.
+ */
+Bytes fsdpUnshardVolume(int p_fsdp, int capacity, Bytes expert_bytes);
+
+/**
+ * Ratio V_fsep / V_fsdp, which approaches 1 as the cluster grows
+ * (Sec. 3.1: ~1.1 at P_fsep = 32, P_fsdp = 8).
+ */
+double fsepToFsdpVolumeRatio(int p_fsep, int p_fsdp);
+
+/**
+ * Overlap feasibility threshold (Eq. 1): the per-device token count S
+ * above which expert computation hides the prefetch of the next
+ * layer's C experts. Computation per device is S*K*(6*H*H') FLOPs;
+ * prefetch moves 3*C*H*H'*sizeof(bf16) bytes each way.
+ *
+ * @param capacity       C — experts restored per device.
+ * @param top_k          K.
+ * @param expert_bytes   Psi_expert in bytes (= 3*H*H'*2 for bf16).
+ * @param flops_per_token V_comp (= 6*H*H').
+ * @param compute_flops  B_comp, effective FLOP/s.
+ * @param wire_bw        prefetch bandwidth per device, B/s.
+ * @return minimal S (tokens) for full overlap.
+ */
+TokenCount overlapThresholdTokens(int capacity, int top_k,
+                                  Bytes expert_bytes,
+                                  Flops flops_per_token,
+                                  double compute_flops, double wire_bw);
+
+/**
+ * Expert-relocation migration volume of traditional systems: moving
+ * one expert's parameters plus optimizer state is ~6x the parameter
+ * bytes (Sec. 1) — the overhead FSEP eliminates.
+ */
+Bytes relocationMigrationVolume(Bytes expert_bytes);
+
+} // namespace laer
+
+#endif // LAER_FSEP_VOLUME_HH

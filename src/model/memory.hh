@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Per-device model-state and activation memory model (paper Sec. 3.1).
+ *
+ * Implements the memory analysis used to argue FSEP's footprint: with
+ * full sharding the optimizer state is 1/N of the whole model, the
+ * parameter/gradient states add the working set of the current and
+ * prefetched layer, and FSEP adds only 2*C*Psi_expert on top of FSDP.
+ * Megatron-style EP+TP keeps whole experts resident, which is what
+ * forces it onto larger TP degrees for the e8k2 models (Sec. 5.2).
+ */
+
+#ifndef LAER_MODEL_MEMORY_HH
+#define LAER_MODEL_MEMORY_HH
+
+#include "core/types.hh"
+#include "model/config.hh"
+
+namespace laer
+{
+
+/** Bytes of optimizer state per parameter: fp32 master + Adam m, v. */
+constexpr int kOptimizerBytesPerParam = 12;
+
+/** Breakdown of per-device model-state memory. */
+struct ModelStateMemory
+{
+    Bytes optimizerState = 0; //!< sharded fp32 master + moments
+    Bytes paramState = 0;     //!< resident bf16 parameters
+    Bytes gradState = 0;      //!< resident bf16 gradients
+
+    Bytes total() const { return optimizerState + paramState + gradState; }
+};
+
+/**
+ * FSEP per-device model state for N devices and expert capacity C
+ * (Sec. 3.1 memory analysis):
+ *   optimizer = 12 * Psi_all / N
+ *   params    = 2 * Psi_all / N + 2 * Psi_other + 2 * (2C Psi_expert)
+ *   grads     = params (delayed gradient sync keeps symmetry)
+ */
+ModelStateMemory fsepModelState(const ModelConfig &cfg, int n_devices,
+                                int capacity);
+
+/**
+ * Plain FSDP(+EP) per-device model state: as FSEP but the unsharded
+ * working set holds the C experts of one layer once (no double
+ * buffering of prefetched expert parameters).
+ */
+ModelStateMemory fsdpEpModelState(const ModelConfig &cfg, int n_devices,
+                                  int capacity);
+
+/**
+ * Megatron-style EP+TP+DP: experts live unsharded on their EP rank
+ * (E / ep_degree whole experts per device), attention weights are cut
+ * by the TP degree, and optimizer states shard over the DP replicas.
+ */
+ModelStateMemory megatronModelState(const ModelConfig &cfg, int n_devices,
+                                    int ep_degree, int tp_degree);
+
+/**
+ * Activation bytes per token for one Transformer layer (checkpointing
+ * keeps only boundary activations when enabled).
+ */
+Bytes activationBytesPerToken(const ModelConfig &cfg, bool checkpointing);
+
+/**
+ * Largest per-device micro-batch (tokens) that fits in `hbm_bytes`
+ * after the given model state, rounded down to a multiple of 1K.
+ */
+TokenCount maxMicroBatchTokens(const ModelConfig &cfg,
+                               const ModelStateMemory &state,
+                               Bytes hbm_bytes, bool checkpointing);
+
+} // namespace laer
+
+#endif // LAER_MODEL_MEMORY_HH

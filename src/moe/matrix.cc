@@ -1,0 +1,109 @@
+#include "moe/matrix.hh"
+
+#include <cmath>
+
+#include "core/error.hh"
+
+namespace laer
+{
+
+Matrix::Matrix(int rows, int cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows) * cols, 0.0f)
+{
+    LAER_CHECK(rows > 0 && cols > 0, "empty matrix");
+}
+
+void
+Matrix::randomize(Rng &rng, float scale)
+{
+    for (auto &v : data_)
+        v = static_cast<float>(rng.gaussian(0.0, scale));
+}
+
+void
+Matrix::zero()
+{
+    std::fill(data_.begin(), data_.end(), 0.0f);
+}
+
+void
+Matrix::add(const Matrix &other)
+{
+    LAER_ASSERT(rows_ == other.rows_ && cols_ == other.cols_,
+                "shape mismatch in add");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i];
+}
+
+void
+Matrix::scale(float s)
+{
+    for (auto &v : data_)
+        v *= s;
+}
+
+void
+matVec(const Matrix &w, const float *x, float *y)
+{
+    for (int r = 0; r < w.rows(); ++r) {
+        const float *wr = w.row(r);
+        float acc = 0.0f;
+        for (int c = 0; c < w.cols(); ++c)
+            acc += wr[c] * x[c];
+        y[r] = acc;
+    }
+}
+
+void
+matVecT(const Matrix &w, const float *x, float *y)
+{
+    for (int c = 0; c < w.cols(); ++c)
+        y[c] = 0.0f;
+    for (int r = 0; r < w.rows(); ++r) {
+        const float *wr = w.row(r);
+        const float xr = x[r];
+        for (int c = 0; c < w.cols(); ++c)
+            y[c] += wr[c] * xr;
+    }
+}
+
+void
+accumulateOuter(Matrix &grad, const float *dy, const float *x)
+{
+    for (int r = 0; r < grad.rows(); ++r) {
+        float *gr = grad.row(r);
+        const float d = dy[r];
+        for (int c = 0; c < grad.cols(); ++c)
+            gr[c] += d * x[c];
+    }
+}
+
+AdamParam::AdamParam(int rows, int cols, Rng &rng, float init_scale)
+    : weight_(rows, cols), grad_(rows, cols), m_(rows, cols),
+      v_(rows, cols)
+{
+    weight_.randomize(rng, init_scale);
+}
+
+void
+AdamParam::step(float lr, float beta1, float beta2, float eps)
+{
+    ++t_;
+    const float bc1 = 1.0f - std::pow(beta1, static_cast<float>(t_));
+    const float bc2 = 1.0f - std::pow(beta2, static_cast<float>(t_));
+    auto &w = weight_.raw();
+    auto &g = grad_.raw();
+    auto &m = m_.raw();
+    auto &v = v_.raw();
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        m[i] = beta1 * m[i] + (1.0f - beta1) * g[i];
+        v[i] = beta2 * v[i] + (1.0f - beta2) * g[i] * g[i];
+        const float mhat = m[i] / bc1;
+        const float vhat = v[i] / bc2;
+        w[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+    }
+    grad_.zero();
+}
+
+} // namespace laer

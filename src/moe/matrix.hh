@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Minimal dense matrix used by the numeric MoE trainer.
+ *
+ * Row-major float storage with exactly the operations backprop needs.
+ * Sizes stay tiny (d_model <= 128), so clarity beats blocking tricks.
+ */
+
+#ifndef LAER_MOE_MATRIX_HH
+#define LAER_MOE_MATRIX_HH
+
+#include <vector>
+
+#include "core/rng.hh"
+
+namespace laer
+{
+
+/** Row-major float matrix. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Zero-initialised rows x cols matrix. */
+    Matrix(int rows, int cols);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    float &at(int r, int c) { return data_[idx(r, c)]; }
+    float at(int r, int c) const { return data_[idx(r, c)]; }
+
+    float *row(int r) { return data_.data() + idx(r, 0); }
+    const float *row(int r) const { return data_.data() + idx(r, 0); }
+
+    /** Fill with N(0, scale) entries. */
+    void randomize(Rng &rng, float scale);
+
+    /** Set every entry to zero. */
+    void zero();
+
+    /** this += other (same shape). */
+    void add(const Matrix &other);
+
+    /** this *= s. */
+    void scale(float s);
+
+    std::vector<float> &raw() { return data_; }
+    const std::vector<float> &raw() const { return data_; }
+
+  private:
+    std::size_t idx(int r, int c) const
+    {
+        return static_cast<std::size_t>(r) * cols_ + c;
+    }
+
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<float> data_;
+};
+
+/** y = W x for a length-cols vector x; y has length rows. */
+void matVec(const Matrix &w, const float *x, float *y);
+
+/** y = W^T x for a length-rows vector x; y has length cols. */
+void matVecT(const Matrix &w, const float *x, float *y);
+
+/** grad += outer(dy, x): dy length rows, x length cols. */
+void accumulateOuter(Matrix &grad, const float *dy, const float *x);
+
+/** Adam state paired with a parameter matrix. */
+class AdamParam
+{
+  public:
+    /** Wrap a parameter matrix (kept by reference semantics: the
+     * parameter lives here). */
+    AdamParam(int rows, int cols, Rng &rng, float init_scale);
+
+    Matrix &weight() { return weight_; }
+    const Matrix &weight() const { return weight_; }
+    Matrix &grad() { return grad_; }
+
+    /** One Adam update from the accumulated gradient; zeroes grad. */
+    void step(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+              float eps = 1e-8f);
+
+  private:
+    Matrix weight_;
+    Matrix grad_;
+    Matrix m_;
+    Matrix v_;
+    int t_ = 0;
+};
+
+} // namespace laer
+
+#endif // LAER_MOE_MATRIX_HH

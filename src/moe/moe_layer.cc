@@ -1,0 +1,281 @@
+#include "moe/moe_layer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hh"
+
+namespace laer
+{
+
+namespace
+{
+
+float
+sigmoid(float z)
+{
+    return 1.0f / (1.0f + std::exp(-z));
+}
+
+float
+silu(float z)
+{
+    return z * sigmoid(z);
+}
+
+float
+siluGrad(float z)
+{
+    const float s = sigmoid(z);
+    return s * (1.0f + z * (1.0f - s));
+}
+
+} // namespace
+
+MoeLayer::MoeLayer(const MoeLayerConfig &config, Rng &rng)
+    : config_(config)
+{
+    LAER_CHECK(config_.topK >= 1 && config_.topK <= config_.numExperts,
+               "top-k out of range");
+    const float gate_scale =
+        1.0f / std::sqrt(static_cast<float>(config_.dModel));
+    gate_ = std::make_unique<AdamParam>(config_.numExperts,
+                                        config_.dModel, rng, gate_scale);
+    const float w_scale =
+        1.0f / std::sqrt(static_cast<float>(config_.dModel));
+    const float o_scale =
+        1.0f / std::sqrt(static_cast<float>(config_.dExpert));
+    experts_.resize(config_.numExperts);
+    for (auto &bank : experts_) {
+        bank.push_back(std::make_unique<AdamParam>(
+            config_.dExpert, config_.dModel, rng, w_scale)); // W1
+        bank.push_back(std::make_unique<AdamParam>(
+            config_.dExpert, config_.dModel, rng, w_scale)); // W3
+        bank.push_back(std::make_unique<AdamParam>(
+            config_.dModel, config_.dExpert, rng, o_scale)); // W2
+    }
+}
+
+AdamParam &
+MoeLayer::expertWeight(int expert, int which)
+{
+    LAER_ASSERT(expert >= 0 && expert < config_.numExperts &&
+                which >= 0 && which < 3,
+                "expert weight index out of range");
+    return *experts_[expert][which];
+}
+
+void
+MoeLayer::forward(const float *x, int n, float *out)
+{
+    const int d = config_.dModel;
+    const int e = config_.numExperts;
+    const int k = config_.topK;
+    const int h = config_.dExpert;
+
+    routes_.assign(n, {});
+    h1_.assign(static_cast<std::size_t>(n) * k, {});
+    h3_.assign(static_cast<std::size_t>(n) * k, {});
+    stats_.expertTokenCounts.assign(e, 0);
+    stats_.auxLoss = 0.0f;
+    cachedBatch_ = n;
+
+    std::vector<float> logits(e);
+    std::vector<double> prob_sums(e, 0.0);
+
+    for (int t = 0; t < n; ++t) {
+        const float *xt = x + static_cast<std::size_t>(t) * d;
+        float *ot = out + static_cast<std::size_t>(t) * d;
+        std::fill(ot, ot + d, 0.0f);
+
+        matVec(gate_->weight(), xt, logits.data());
+
+        TokenRoute &route = routes_[t];
+        // Full softmax (needed for the aux loss P term).
+        route.probs.resize(e);
+        float max_logit = logits[0];
+        for (int j = 1; j < e; ++j)
+            max_logit = std::max(max_logit, logits[j]);
+        float denom = 0.0f;
+        for (int j = 0; j < e; ++j) {
+            route.probs[j] = std::exp(logits[j] - max_logit);
+            denom += route.probs[j];
+        }
+        for (int j = 0; j < e; ++j) {
+            route.probs[j] /= denom;
+            prob_sums[j] += route.probs[j];
+        }
+
+        // Top-k selection by probability.
+        std::vector<int> order(e);
+        for (int j = 0; j < e; ++j)
+            order[j] = j;
+        std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                          [&](int a, int b) {
+                              return route.probs[a] > route.probs[b];
+                          });
+        route.experts.assign(order.begin(), order.begin() + k);
+        // Gate weights: softmax over the selected logits, equal to the
+        // renormalised top-k probabilities.
+        float sel_sum = 0.0f;
+        for (int kk = 0; kk < k; ++kk)
+            sel_sum += route.probs[route.experts[kk]];
+        route.weights.resize(k);
+        for (int kk = 0; kk < k; ++kk)
+            route.weights[kk] = route.probs[route.experts[kk]] / sel_sum;
+
+        // Expert FFNs.
+        for (int kk = 0; kk < k; ++kk) {
+            const int expert = route.experts[kk];
+            ++stats_.expertTokenCounts[expert];
+            auto &h1 = h1_[static_cast<std::size_t>(t) * k + kk];
+            auto &h3 = h3_[static_cast<std::size_t>(t) * k + kk];
+            h1.resize(h);
+            h3.resize(h);
+            matVec(experts_[expert][0]->weight(), xt, h1.data());
+            matVec(experts_[expert][1]->weight(), xt, h3.data());
+            std::vector<float> act(h);
+            for (int i = 0; i < h; ++i)
+                act[i] = silu(h1[i]) * h3[i];
+            std::vector<float> y(d);
+            matVec(experts_[expert][2]->weight(), act.data(), y.data());
+            const float w = route.weights[kk];
+            for (int i = 0; i < d; ++i)
+                ot[i] += w * y[i];
+        }
+    }
+
+    // Switch aux loss: w * E * sum_i f_i * P_i.
+    if (config_.auxLossWeight > 0.0f && n > 0) {
+        double acc = 0.0;
+        const double total_dispatch =
+            static_cast<double>(n) * static_cast<double>(k);
+        for (int j = 0; j < e; ++j) {
+            const double f =
+                static_cast<double>(stats_.expertTokenCounts[j]) /
+                total_dispatch;
+            const double p = prob_sums[j] / n;
+            acc += f * p;
+        }
+        stats_.auxLoss = config_.auxLossWeight *
+                         static_cast<float>(e * acc);
+    }
+}
+
+void
+MoeLayer::backward(const float *x, const float *dout, int n, float *dx)
+{
+    LAER_CHECK(n == cachedBatch_, "backward batch mismatch");
+    const int d = config_.dModel;
+    const int e = config_.numExperts;
+    const int k = config_.topK;
+    const int h = config_.dExpert;
+
+    // Aux-loss constants: dL_aux/dp_{t,i} = w * E * f_i / n.
+    std::vector<float> aux_dp(e, 0.0f);
+    if (config_.auxLossWeight > 0.0f) {
+        const double total_dispatch =
+            static_cast<double>(n) * static_cast<double>(k);
+        for (int j = 0; j < e; ++j) {
+            const double f =
+                static_cast<double>(stats_.expertTokenCounts[j]) /
+                total_dispatch;
+            aux_dp[j] = config_.auxLossWeight *
+                        static_cast<float>(e * f / n);
+        }
+    }
+
+    std::vector<float> act(h), da(h), dh1(h), dh3(h), y(d), dy(d);
+    std::vector<float> dp(e), dlogits(e), tmp_d(d);
+
+    for (int t = 0; t < n; ++t) {
+        const float *xt = x + static_cast<std::size_t>(t) * d;
+        const float *dot = dout + static_cast<std::size_t>(t) * d;
+        float *dxt = dx + static_cast<std::size_t>(t) * d;
+        std::fill(dxt, dxt + d, 0.0f);
+
+        const TokenRoute &route = routes_[t];
+        std::fill(dp.begin(), dp.end(), 0.0f);
+
+        float sel_sum = 0.0f;
+        for (int kk = 0; kk < k; ++kk)
+            sel_sum += route.probs[route.experts[kk]];
+
+        std::vector<float> dweights(k, 0.0f);
+        for (int kk = 0; kk < k; ++kk) {
+            const int expert = route.experts[kk];
+            const float w = route.weights[kk];
+            const auto &h1 =
+                h1_[static_cast<std::size_t>(t) * k + kk];
+            const auto &h3 =
+                h3_[static_cast<std::size_t>(t) * k + kk];
+            for (int i = 0; i < h; ++i)
+                act[i] = silu(h1[i]) * h3[i];
+            // y_e is needed for the gate-weight gradient.
+            matVec(experts_[expert][2]->weight(), act.data(), y.data());
+            float dw = 0.0f;
+            for (int i = 0; i < d; ++i)
+                dw += dot[i] * y[i];
+            dweights[kk] = dw;
+
+            // dY = w * dout.
+            for (int i = 0; i < d; ++i)
+                dy[i] = w * dot[i];
+            accumulateOuter(experts_[expert][2]->grad(), dy.data(),
+                            act.data());
+            matVecT(experts_[expert][2]->weight(), dy.data(), da.data());
+            for (int i = 0; i < h; ++i) {
+                dh3[i] = da[i] * silu(h1[i]);
+                dh1[i] = da[i] * h3[i] * siluGrad(h1[i]);
+            }
+            accumulateOuter(experts_[expert][0]->grad(), dh1.data(), xt);
+            accumulateOuter(experts_[expert][1]->grad(), dh3.data(), xt);
+            matVecT(experts_[expert][0]->weight(), dh1.data(),
+                    tmp_d.data());
+            for (int i = 0; i < d; ++i)
+                dxt[i] += tmp_d[i];
+            matVecT(experts_[expert][1]->weight(), dh3.data(),
+                    tmp_d.data());
+            for (int i = 0; i < d; ++i)
+                dxt[i] += tmp_d[i];
+        }
+
+        // Gate-weight renormalisation backward:
+        //   w_kk = p_kk / s  =>  dL/dp_a = dw_a / s - sum_b dw_b p_b / s^2
+        float weighted = 0.0f;
+        for (int kk = 0; kk < k; ++kk)
+            weighted += dweights[kk] *
+                        route.probs[route.experts[kk]];
+        for (int kk = 0; kk < k; ++kk) {
+            const int expert = route.experts[kk];
+            dp[expert] += dweights[kk] / sel_sum -
+                          weighted / (sel_sum * sel_sum);
+        }
+        // Aux loss reaches every expert's probability.
+        for (int j = 0; j < e; ++j)
+            dp[j] += aux_dp[j];
+
+        // Softmax backward: dlogit_j = p_j (dp_j - sum_i p_i dp_i).
+        float inner = 0.0f;
+        for (int j = 0; j < e; ++j)
+            inner += route.probs[j] * dp[j];
+        for (int j = 0; j < e; ++j)
+            dlogits[j] = route.probs[j] * (dp[j] - inner);
+
+        accumulateOuter(gate_->grad(), dlogits.data(), xt);
+        matVecT(gate_->weight(), dlogits.data(), tmp_d.data());
+        for (int i = 0; i < d; ++i)
+            dxt[i] += tmp_d[i];
+    }
+}
+
+void
+MoeLayer::step(float lr)
+{
+    gate_->step(lr);
+    for (auto &bank : experts_)
+        for (auto &param : bank)
+            param->step(lr);
+}
+
+} // namespace laer

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * A real (small) Mixture-of-Experts layer with manual backprop.
+ *
+ * Implements the architecture from the paper's preliminaries (Sec. 2):
+ * top-k gating g(x) = Softmax(TopK(x W_g)) over SwiGLU expert FFNs,
+ * y = sum_i g(x)_i f_i(x), plus the Switch-Transformer auxiliary load
+ * balancing loss L_aux = w * E * sum_i f_i P_i used in the convergence
+ * study (Fig. 2 / Fig. 9).
+ */
+
+#ifndef LAER_MOE_MOE_LAYER_HH
+#define LAER_MOE_MOE_LAYER_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/rng.hh"
+#include "moe/matrix.hh"
+
+namespace laer
+{
+
+/** Layer hyperparameters. */
+struct MoeLayerConfig
+{
+    int dModel = 32;    //!< hidden width H
+    int dExpert = 64;   //!< SwiGLU intermediate H'
+    int numExperts = 8; //!< E
+    int topK = 2;       //!< K
+    float auxLossWeight = 0.0f; //!< Switch aux loss weight
+};
+
+/** Per-batch statistics the training simulator consumes. */
+struct MoeBatchStats
+{
+    std::vector<std::int64_t> expertTokenCounts; //!< dispatch counts
+    float auxLoss = 0.0f;                        //!< weighted value
+};
+
+/**
+ * The MoE layer. forward() caches everything backward() needs; one
+ * outstanding batch at a time (standard training loop usage).
+ */
+class MoeLayer
+{
+  public:
+    MoeLayer(const MoeLayerConfig &config, Rng &rng);
+
+    const MoeLayerConfig &config() const { return config_; }
+
+    /**
+     * Forward a batch of `n` token embeddings (row-major n x dModel).
+     * Writes outputs (residual NOT included) to `out` and records the
+     * routing statistics of the batch.
+     */
+    void forward(const float *x, int n, float *out);
+
+    /** Routing statistics of the last forward batch. */
+    const MoeBatchStats &lastStats() const { return stats_; }
+
+    /**
+     * Backward from dL/dout (same shape as out); accumulates weight
+     * gradients (including the aux-loss contribution) and writes
+     * dL/dx to `dx`.
+     */
+    void backward(const float *x, const float *dout, int n, float *dx);
+
+    /** Adam update on every parameter of the layer. */
+    void step(float lr);
+
+    /** Gate weight access for tests. */
+    AdamParam &gate() { return *gate_; }
+
+    /** Expert weights for tests: 0 = W1, 1 = W3, 2 = W2. */
+    AdamParam &expertWeight(int expert, int which);
+
+  private:
+    /** Cached per-token routing decision. */
+    struct TokenRoute
+    {
+        std::vector<int> experts;    //!< selected expert ids (K)
+        std::vector<float> weights;  //!< normalised gate weights (K)
+        std::vector<float> probs;    //!< full softmax over E
+    };
+
+    MoeLayerConfig config_;
+    std::unique_ptr<AdamParam> gate_; //!< E x dModel
+    /** experts_[e] = {W1 (dExpert x dModel), W3 (dExpert x dModel),
+     * W2 (dModel x dExpert)}. */
+    std::vector<std::vector<std::unique_ptr<AdamParam>>> experts_;
+
+    // Forward caches (per token).
+    std::vector<TokenRoute> routes_;
+    std::vector<std::vector<float>> h1_; //!< pre-activation W1 x
+    std::vector<std::vector<float>> h3_; //!< gate branch W3 x
+    MoeBatchStats stats_;
+    int cachedBatch_ = 0;
+};
+
+} // namespace laer
+
+#endif // LAER_MOE_MOE_LAYER_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The planner's analytical cost model (paper Sec. 3.2, Eq. 2).
+ *
+ *   T = T_comm + T_comp
+ *   T_comm = 4 * V_comm * sum_{i,j,k} S[i][j][k] / bw(i, k)
+ *   T_comp = (3 + F_ckpt) * max_i ( V_comp * recv_i / B_comp )
+ *
+ * The factor 4 counts dispatch/combine in forward and backward; the
+ * factor (3 + F_ckpt) charges backward as twice forward plus an
+ * optional recomputation pass.
+ */
+
+#ifndef LAER_PLANNER_COST_MODEL_HH
+#define LAER_PLANNER_COST_MODEL_HH
+
+#include "planner/types.hh"
+#include "topo/cluster.hh"
+
+namespace laer
+{
+
+/** Workload constants of the layer being planned. */
+struct CostParams
+{
+    Bytes commBytesPerToken = 0;  //!< V_comm: bytes per token per hop
+    Flops compFlopsPerToken = 0;  //!< V_comp: forward FLOPs per token
+    bool checkpointing = false;   //!< F_ckpt
+};
+
+/** Decomposed objective value. */
+struct CostBreakdown
+{
+    Seconds comm = 0.0;
+    Seconds comp = 0.0;
+
+    Seconds total() const { return comm + comp; }
+};
+
+/**
+ * Evaluate Eq. 2 for a concrete (A, S) pair. The layout A enters only
+ * through S (which must already respect it); it is accepted so debug
+ * builds can assert consistency.
+ */
+CostBreakdown timeCost(const Cluster &cluster, const CostParams &params,
+                       const RoutingPlan &plan);
+
+/**
+ * Fast path used in the tuner's inner loop: identical maths to
+ * timeCost but fed with precomputed per-destination token sums to
+ * avoid rebuilding volume matrices.
+ */
+CostBreakdown timeCostFromSums(const Cluster &cluster,
+                               const CostParams &params,
+                               const std::vector<TokenCount> &recv_tokens,
+                               Seconds pair_sum_over_bw_bytes);
+
+} // namespace laer
+
+#endif // LAER_PLANNER_COST_MODEL_HH

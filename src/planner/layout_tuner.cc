@@ -1,0 +1,66 @@
+#include "planner/layout_tuner.hh"
+
+#include <utility>
+#include <vector>
+
+#include "core/error.hh"
+#include "core/rng.hh"
+#include "planner/lite_routing.hh"
+#include "planner/relocation.hh"
+#include "planner/replica_alloc.hh"
+
+namespace laer
+{
+
+LayoutDecision
+tuneExpertLayout(const Cluster &cluster, const RoutingMatrix &routing,
+                 const TunerConfig &config)
+{
+    LAER_CHECK(config.usePq || config.useEven,
+               "tuner needs at least one allocation scheme");
+    LAER_CHECK(cluster.numDevices() == routing.numDevices(),
+               "cluster does not match routing matrix");
+
+    const std::vector<TokenCount> loads = routing.expertLoads();
+    const int n = cluster.numDevices();
+
+    // Alg. 2 lines 1-7: build the replica-scheme set.
+    std::vector<std::vector<int>> replicas_set;
+    if (config.usePq)
+        replicas_set.push_back(
+            replicaAllocation(loads, n, config.capacity));
+    if (config.useEven)
+        replicas_set.push_back(evenAllocation(loads, n, config.capacity));
+
+    Rng rng(config.seed);
+    while (static_cast<int>(replicas_set.size()) < config.setSize) {
+        const std::size_t pick = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<int>(replicas_set.size()) - 1));
+        replicas_set.push_back(
+            perturbAllocation(replicas_set[pick], rng, n));
+    }
+
+    // Alg. 2 lines 9-15: place, route, score, keep the best. The
+    // inner loop uses the fused route-and-score pass; the dense plan
+    // is materialised once, for the winning layout only.
+    LayoutDecision best;
+    bool have_best = false;
+    for (const auto &replicas : replicas_set) {
+        ExpertLayout layout =
+            expertRelocation(cluster, replicas, loads, config.capacity);
+        const LiteRoutingScore score =
+            scoreLiteRouting(cluster, routing, layout, config.cost);
+        if (!have_best || score.cost.total() < best.cost.total()) {
+            best.layout = std::move(layout);
+            best.cost = score.cost;
+            have_best = true;
+        }
+    }
+    best.schemesTried = static_cast<int>(replicas_set.size());
+    LAER_ASSERT(have_best, "tuner evaluated no schemes");
+    if (config.buildPlan)
+        best.plan = liteRouting(cluster, routing, best.layout);
+    return best;
+}
+
+} // namespace laer

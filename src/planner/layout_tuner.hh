@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Expert layout tuner (paper Alg. 2) — the asynchronous half of the
+ * load-balancing planner.
+ *
+ * Builds a set of replica-count schemes (priority-queue proportional,
+ * even, plus random perturbations up to |epsilon|), places each with
+ * expert relocation (Alg. 1), routes with lite routing (Alg. 3),
+ * scores with the cost model (Eq. 2) and returns the cheapest layout.
+ * The flags exist for the Fig. 12 ablation ("pq" / "even" only).
+ */
+
+#ifndef LAER_PLANNER_LAYOUT_TUNER_HH
+#define LAER_PLANNER_LAYOUT_TUNER_HH
+
+#include <cstdint>
+
+#include "planner/cost_model.hh"
+#include "planner/types.hh"
+#include "topo/cluster.hh"
+
+namespace laer
+{
+
+/** Tuner knobs; defaults match the paper's configuration. */
+struct TunerConfig
+{
+    int capacity = 2;        //!< C, expert slots per device
+    int setSize = 4;         //!< |epsilon| including the two seeds
+    bool usePq = true;       //!< include proportional allocation
+    bool useEven = true;     //!< include even allocation
+    /** Materialise the dense routing plan S for the winning layout.
+     * The production split (Fig. 7) leaves S to the synchronous
+     * GPU-side dispatcher, so the CPU solver can skip it. */
+    bool buildPlan = true;
+    std::uint64_t seed = 1;  //!< perturbation randomness
+    CostParams cost;         //!< layer workload constants
+};
+
+/** Result of one tuner invocation. */
+struct LayoutDecision
+{
+    ExpertLayout layout;   //!< A
+    RoutingPlan plan;      //!< S under lite routing
+    CostBreakdown cost;    //!< Eq. 2 value of (A, S)
+    int schemesTried = 0;  //!< size of the evaluated replica set
+};
+
+/**
+ * Solve the expert re-layout for one MoE layer given the routing
+ * matrix observed in the previous iteration (paper Fig. 7: the CPU
+ * solves for iteration t+1 while t computes).
+ */
+LayoutDecision tuneExpertLayout(const Cluster &cluster,
+                                const RoutingMatrix &routing,
+                                const TunerConfig &config);
+
+} // namespace laer
+
+#endif // LAER_PLANNER_LAYOUT_TUNER_HH

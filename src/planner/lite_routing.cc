@@ -1,0 +1,138 @@
+#include "planner/lite_routing.hh"
+
+#include "core/error.hh"
+
+namespace laer
+{
+
+void
+liteRouteRank(const Cluster &cluster, const RoutingMatrix &routing,
+              const ExpertLayout &layout, DeviceId rank, RoutingPlan &plan)
+{
+    const int n = routing.numDevices();
+    const int e = routing.numExperts();
+    LAER_ASSERT(layout.numDevices() == n && layout.numExperts() == e,
+                "layout does not match routing matrix");
+    LAER_ASSERT(rank >= 0 && rank < n, "bad source rank");
+
+    const NodeId my_node = cluster.node(rank);
+    for (ExpertId j = 0; j < e; ++j) {
+        const TokenCount tokens = routing.at(rank, j);
+        if (tokens == 0)
+            continue;
+
+        // Alg. 3 lines 2-3: candidate replica sets.
+        std::vector<DeviceId> intra, all;
+        for (DeviceId d = 0; d < n; ++d) {
+            for (int r = 0; r < layout.at(d, j); ++r) {
+                all.push_back(d);
+                if (cluster.node(d) == my_node)
+                    intra.push_back(d);
+            }
+        }
+        LAER_CHECK(!all.empty(),
+                   "expert " << j << " has no replica anywhere");
+
+        const std::vector<DeviceId> &targets =
+            intra.empty() ? all : intra;
+        const auto count = static_cast<TokenCount>(targets.size());
+        const TokenCount base = tokens / count;
+        TokenCount rem = tokens % count;
+
+        // Even split with a rotating remainder start (keyed on the
+        // source rank) so remainders spread across replicas.
+        const std::size_t start = static_cast<std::size_t>(rank) %
+                                  targets.size();
+        for (std::size_t t = 0; t < targets.size(); ++t) {
+            const std::size_t slot = (start + t) % targets.size();
+            TokenCount share = base;
+            if (rem > 0) {
+                ++share;
+                --rem;
+            }
+            plan.at(rank, j, targets[slot]) += share;
+        }
+    }
+}
+
+RoutingPlan
+liteRouting(const Cluster &cluster, const RoutingMatrix &routing,
+            const ExpertLayout &layout)
+{
+    RoutingPlan plan(routing.numDevices(), routing.numExperts());
+    for (DeviceId rank = 0; rank < routing.numDevices(); ++rank)
+        liteRouteRank(cluster, routing, layout, rank, plan);
+    return plan;
+}
+
+LiteRoutingScore
+scoreLiteRouting(const Cluster &cluster, const RoutingMatrix &routing,
+                 const ExpertLayout &layout, const CostParams &params)
+{
+    const int n = routing.numDevices();
+    const int e = routing.numExperts();
+    LAER_ASSERT(layout.numDevices() == n && layout.numExperts() == e,
+                "layout does not match routing matrix");
+
+    // Precompute replica target lists once per layout: the global
+    // list per expert and the per-(node, expert) intra lists, with
+    // multiplicity, in the same device order liteRouteRank uses.
+    const int nodes = cluster.numNodes();
+    std::vector<std::vector<DeviceId>> all(e);
+    std::vector<std::vector<std::vector<DeviceId>>> intra(
+        nodes, std::vector<std::vector<DeviceId>>(e));
+    for (DeviceId d = 0; d < n; ++d) {
+        const NodeId nd = cluster.node(d);
+        for (ExpertId j = 0; j < e; ++j) {
+            for (int r = 0; r < layout.at(d, j); ++r) {
+                all[j].push_back(d);
+                intra[nd][j].push_back(d);
+            }
+        }
+    }
+
+    LiteRoutingScore score;
+    score.recv.assign(n, 0);
+    Seconds pair_sum = 0.0;
+
+    for (DeviceId rank = 0; rank < n; ++rank) {
+        const NodeId my_node = cluster.node(rank);
+        for (ExpertId j = 0; j < e; ++j) {
+            const TokenCount tokens = routing.at(rank, j);
+            if (tokens == 0)
+                continue;
+            const std::vector<DeviceId> &targets =
+                intra[my_node][j].empty() ? all[j]
+                                          : intra[my_node][j];
+            LAER_CHECK(!targets.empty(),
+                       "expert " << j << " has no replica anywhere");
+            const auto count =
+                static_cast<TokenCount>(targets.size());
+            const TokenCount base = tokens / count;
+            TokenCount rem = tokens % count;
+            const std::size_t start =
+                static_cast<std::size_t>(rank) % targets.size();
+            for (std::size_t t = 0; t < targets.size(); ++t) {
+                const std::size_t slot =
+                    (start + t) % targets.size();
+                TokenCount share = base;
+                if (rem > 0) {
+                    ++share;
+                    --rem;
+                }
+                if (share == 0)
+                    continue;
+                const DeviceId k = targets[slot];
+                score.recv[k] += share;
+                if (k != rank)
+                    pair_sum += static_cast<double>(share) /
+                                cluster.bw(rank, k);
+            }
+        }
+    }
+    score.cost =
+        timeCostFromSums(cluster, params, score.recv, pair_sum);
+    return score;
+}
+
+} // namespace laer

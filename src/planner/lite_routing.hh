@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Lite routing — the synchronous token dispatcher (paper Alg. 3).
+ *
+ * Runs independently on every source device using only the global
+ * expert layout (no global routing exchange): for each expert, if the
+ * source's node hosts replicas, tokens split evenly across those
+ * intra-node replicas; otherwise they split evenly across all replicas
+ * cluster-wide. Integer remainders are assigned round-robin starting
+ * at a source-dependent offset so no single replica systematically
+ * collects every remainder.
+ */
+
+#ifndef LAER_PLANNER_LITE_ROUTING_HH
+#define LAER_PLANNER_LITE_ROUTING_HH
+
+#include "planner/cost_model.hh"
+#include "planner/types.hh"
+#include "topo/cluster.hh"
+
+namespace laer
+{
+
+/**
+ * Route one source device's tokens (one row of R) given the global
+ * layout. Fills the S[rank][j][k] slice of `plan`.
+ */
+void liteRouteRank(const Cluster &cluster, const RoutingMatrix &routing,
+                   const ExpertLayout &layout, DeviceId rank,
+                   RoutingPlan &plan);
+
+/**
+ * Convenience: run liteRouteRank for every device and return the full
+ * routing plan S.
+ */
+RoutingPlan liteRouting(const Cluster &cluster,
+                        const RoutingMatrix &routing,
+                        const ExpertLayout &layout);
+
+/** Aggregates produced by the fused route-and-score pass. */
+struct LiteRoutingScore
+{
+    CostBreakdown cost;              //!< Eq. 2 value
+    std::vector<TokenCount> recv;    //!< tokens per destination
+};
+
+/**
+ * Fused lite routing + cost evaluation (the "efficient C++ core" of
+ * Sec. 4): produces exactly the Eq. 2 objective that
+ * timeCost(liteRouting(...)) would report, but without materialising
+ * the dense N x E x N plan — the tuner's inner loop runs this once
+ * per candidate replica scheme, keeping the solver inside the
+ * per-layer time budget even at 1024 devices (Fig. 11).
+ */
+LiteRoutingScore scoreLiteRouting(const Cluster &cluster,
+                                  const RoutingMatrix &routing,
+                                  const ExpertLayout &layout,
+                                  const CostParams &params);
+
+} // namespace laer
+
+#endif // LAER_PLANNER_LITE_ROUTING_HH

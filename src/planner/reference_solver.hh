@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Exhaustive reference solver for tiny instances.
+ *
+ * The joint problem (Eq. 2) is a nonlinear integer program; the paper
+ * resorts to greedy heuristics. For testing we enumerate every layout
+ * with exactly C distinct experts per device (the search space the
+ * greedy also inhabits), route each with lite routing and keep the
+ * cheapest — giving a certified optimum-within-the-routing-family to
+ * compare the tuner against. Complexity is C(E, C)^N, so this is only
+ * usable for toy sizes (guarded by a hard limit).
+ */
+
+#ifndef LAER_PLANNER_REFERENCE_SOLVER_HH
+#define LAER_PLANNER_REFERENCE_SOLVER_HH
+
+#include "planner/layout_tuner.hh"
+
+namespace laer
+{
+
+/**
+ * Enumerate all feasible layouts (<= `max_states` combinations,
+ * default 2^20) and return the best decision under lite routing.
+ * Throws FatalError when the instance is too large.
+ */
+LayoutDecision exhaustiveLayoutSearch(const Cluster &cluster,
+                                      const RoutingMatrix &routing,
+                                      const CostParams &cost, int capacity,
+                                      long max_states = 1 << 20);
+
+} // namespace laer
+
+#endif // LAER_PLANNER_REFERENCE_SOLVER_HH

@@ -1,0 +1,149 @@
+#include "planner/relocation.hh"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <tuple>
+#include <utility>
+
+#include "core/error.hh"
+
+namespace laer
+{
+
+ExpertLayout
+expertRelocation(const Cluster &cluster, const std::vector<int> &expert_rep,
+                 const std::vector<TokenCount> &expert_loads, int capacity)
+{
+    const int n = cluster.numDevices();
+    const int e = static_cast<int>(expert_rep.size());
+    LAER_CHECK(static_cast<int>(expert_loads.size()) == e,
+               "replica/load vectors disagree");
+    int total_rep = 0;
+    for (int r : expert_rep) {
+        LAER_CHECK(r >= 1, "every expert needs at least one replica");
+        total_rep += r;
+    }
+    LAER_CHECK(total_rep == n * capacity,
+               "replica budget " << total_rep << " != slots "
+                                 << n * capacity);
+
+    // Alg. 1 lines 3-5: one list entry per replica, carrying the
+    // expected average load, sorted descending.
+    struct Item
+    {
+        ExpertId expert;
+        double load;
+    };
+    std::vector<Item> list;
+    list.reserve(total_rep);
+    for (ExpertId j = 0; j < e; ++j) {
+        const double avg = static_cast<double>(expert_loads[j]) /
+                           expert_rep[j];
+        for (int r = 0; r < expert_rep[j]; ++r)
+            list.push_back({j, avg});
+    }
+    std::stable_sort(list.begin(), list.end(),
+                     [](const Item &a, const Item &b) {
+                         return a.load > b.load;
+                     });
+
+    ExpertLayout layout(n, e);
+    std::vector<int> expert_count(n, 0);   // slots used per device
+    std::vector<double> device_loads(n, 0.0);
+    std::vector<std::vector<int>> node_cnt(
+        e, std::vector<int>(cluster.numNodes(), 0));
+    std::vector<int> node_free(cluster.numNodes(),
+                               cluster.devicesPerNode() * capacity);
+
+    // Per-node lazy min-heaps over (load, device). Entries go stale
+    // when a device's load changes; stale or full entries are
+    // discarded on pop. This keeps the placement loop at
+    // O(N*C * (#nodes + log N)) instead of the naive O(N^2 * C) scan,
+    // which is what lets the solver stay inside the per-layer budget
+    // at 1024 devices (Fig. 11).
+    using HeapEntry = std::pair<double, DeviceId>;
+    std::vector<std::priority_queue<HeapEntry,
+                                    std::vector<HeapEntry>,
+                                    std::greater<HeapEntry>>>
+        heaps(cluster.numNodes());
+    for (DeviceId d = 0; d < n; ++d)
+        heaps[cluster.node(d)].emplace(0.0, d);
+
+    // Drop stale/full entries and return the node's best device, or
+    // -1 when the node has no free slot.
+    auto clean_top = [&](NodeId nd) -> DeviceId {
+        auto &heap = heaps[nd];
+        while (!heap.empty()) {
+            const auto [load, d] = heap.top();
+            if (expert_count[d] >= capacity) {
+                heap.pop();
+                continue;
+            }
+            if (load != device_loads[d]) {
+                heap.pop();
+                heap.emplace(device_loads[d], d);
+                continue;
+            }
+            return d;
+        }
+        return -1;
+    };
+
+    for (const Item &item : list) {
+        // Alg. 1 lines 7-9: among nodes with free slots, those with
+        // the fewest replicas of this expert.
+        int min_cnt = std::numeric_limits<int>::max();
+        for (NodeId nd = 0; nd < cluster.numNodes(); ++nd)
+            if (node_free[nd] > 0)
+                min_cnt = std::min(min_cnt, node_cnt[item.expert][nd]);
+        LAER_ASSERT(min_cnt != std::numeric_limits<int>::max(),
+                    "no device has a free expert slot");
+
+        // Alg. 1 line 10: least-loaded free device within those nodes.
+        DeviceId best = -1;
+        for (NodeId nd = 0; nd < cluster.numNodes(); ++nd) {
+            if (node_free[nd] == 0 ||
+                node_cnt[item.expert][nd] != min_cnt)
+                continue;
+            const DeviceId d = clean_top(nd);
+            if (d >= 0 && (best < 0 ||
+                           device_loads[d] < device_loads[best]))
+                best = d;
+        }
+        LAER_ASSERT(best >= 0, "relocation found no placement");
+
+        // A duplicate replica on one device adds no balancing power;
+        // if the heap pick already hosts this expert, fall back to a
+        // scan for the cheapest non-duplicate placement (rare).
+        if (layout.at(best, item.expert) > 0) {
+            DeviceId alt = -1;
+            auto key = [&](DeviceId d) {
+                return std::make_pair(
+                    node_cnt[item.expert][cluster.node(d)],
+                    device_loads[d]);
+            };
+            for (DeviceId d = 0; d < n; ++d) {
+                if (expert_count[d] >= capacity ||
+                    layout.at(d, item.expert) > 0)
+                    continue;
+                if (alt < 0 || key(d) < key(alt))
+                    alt = d;
+            }
+            if (alt >= 0)
+                best = alt;
+        }
+
+        // Alg. 1 lines 11-13: commit the placement.
+        ++layout.at(best, item.expert);
+        device_loads[best] += item.load;
+        ++expert_count[best];
+        ++node_cnt[item.expert][cluster.node(best)];
+        --node_free[cluster.node(best)];
+        heaps[cluster.node(best)].emplace(device_loads[best], best);
+    }
+    return layout;
+}
+
+} // namespace laer

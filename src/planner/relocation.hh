@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Expert relocation (paper Alg. 1): place a given per-expert replica
+ * budget onto concrete devices.
+ *
+ * Greedy, topology-aware and co-designed with lite routing: replicas
+ * of each expert spread across nodes as evenly as possible (because
+ * lite routing splits load evenly among intra-node replicas), and
+ * within the admissible nodes the device with the least accumulated
+ * load wins. Replicas are placed in descending order of their expected
+ * per-replica load so heavy placements commit first.
+ */
+
+#ifndef LAER_PLANNER_RELOCATION_HH
+#define LAER_PLANNER_RELOCATION_HH
+
+#include <vector>
+
+#include "planner/types.hh"
+#include "topo/cluster.hh"
+
+namespace laer
+{
+
+/**
+ * Place replicas onto devices.
+ *
+ * @param cluster       Topology (node(i) is what the algorithm needs).
+ * @param expert_rep    Replicas per expert; must sum to N * capacity.
+ * @param expert_loads  Total tokens per expert.
+ * @param capacity      Expert slots per device (C).
+ * @return feasible layout A.
+ */
+ExpertLayout expertRelocation(const Cluster &cluster,
+                              const std::vector<int> &expert_rep,
+                              const std::vector<TokenCount> &expert_loads,
+                              int capacity);
+
+} // namespace laer
+
+#endif // LAER_PLANNER_RELOCATION_HH

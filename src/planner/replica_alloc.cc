@@ -1,0 +1,111 @@
+#include "planner/replica_alloc.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "core/error.hh"
+
+namespace laer
+{
+
+std::vector<int>
+replicaAllocation(const std::vector<TokenCount> &expert_loads,
+                  int n_devices, int capacity)
+{
+    const int e = static_cast<int>(expert_loads.size());
+    const int slots = n_devices * capacity;
+    LAER_CHECK(e > 0, "no experts to allocate");
+    LAER_CHECK(slots >= e,
+               "capacity too small: " << slots << " slots for " << e
+                                      << " experts");
+    LAER_CHECK(capacity <= e,
+               "per-device capacity exceeds the expert count");
+
+    std::vector<int> rep(e, 1);
+
+    // Max-heap keyed on average load per replica (Alg. 4 lines 2-4).
+    // Experts at the n_devices cap leave the queue: an extra replica
+    // would have to duplicate on some device, which balances nothing.
+    using Entry = std::pair<double, ExpertId>;
+    std::priority_queue<Entry> queue;
+    for (ExpertId i = 0; i < e; ++i)
+        if (rep[i] < n_devices)
+            queue.emplace(static_cast<double>(expert_loads[i]), i);
+
+    int granted = e;
+    while (granted < slots) {
+        LAER_ASSERT(!queue.empty(), "replica budget exceeds E*N");
+        const auto [avg, expert] = queue.top();
+        (void)avg;
+        queue.pop();
+        ++rep[expert];
+        ++granted;
+        if (rep[expert] < n_devices)
+            queue.emplace(static_cast<double>(expert_loads[expert]) /
+                              rep[expert],
+                          expert);
+    }
+    return rep;
+}
+
+std::vector<int>
+evenAllocation(const std::vector<TokenCount> &expert_loads,
+               int n_devices, int capacity)
+{
+    const int e = static_cast<int>(expert_loads.size());
+    const int slots = n_devices * capacity;
+    LAER_CHECK(e > 0, "no experts to allocate");
+    LAER_CHECK(slots >= e,
+               "capacity too small: " << slots << " slots for " << e
+                                      << " experts");
+    LAER_CHECK(capacity <= e,
+               "per-device capacity exceeds the expert count");
+
+    std::vector<int> rep(e, slots / e);
+    int leftover = slots - (slots / e) * e;
+
+    // Hand remainders to the highest-load experts first.
+    std::vector<ExpertId> order(e);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](ExpertId a, ExpertId b) {
+                         return expert_loads[a] > expert_loads[b];
+                     });
+    for (int i = 0; i < leftover; ++i)
+        ++rep[order[i]];
+    return rep;
+}
+
+std::vector<int>
+perturbAllocation(std::vector<int> replicas, Rng &rng,
+                  int max_per_expert)
+{
+    const int e = static_cast<int>(replicas.size());
+    std::vector<ExpertId> donors, takers;
+    for (ExpertId i = 0; i < e; ++i) {
+        if (replicas[i] > 1)
+            donors.push_back(i);
+        if (replicas[i] < max_per_expert)
+            takers.push_back(i);
+    }
+    if (donors.empty() || takers.empty() || e < 2)
+        return replicas;
+
+    const ExpertId from =
+        donors[static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<int>(donors.size()) - 1))];
+    for (int attempt = 0; attempt < 16; ++attempt) {
+        const ExpertId to =
+            takers[static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<int>(takers.size()) - 1))];
+        if (to == from)
+            continue;
+        --replicas[from];
+        ++replicas[to];
+        return replicas;
+    }
+    return replicas;
+}
+
+} // namespace laer

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Replica allocation (paper Alg. 4, Appendix C).
+ *
+ * Decides how many replicas each expert receives out of the N*C total
+ * restore slots. The priority-queue scheme repeatedly grants an extra
+ * replica to the expert with the highest average load (load divided by
+ * its current replica count); the even scheme ignores load and spreads
+ * slots uniformly (Alg. 2 line 3).
+ */
+
+#ifndef LAER_PLANNER_REPLICA_ALLOC_HH
+#define LAER_PLANNER_REPLICA_ALLOC_HH
+
+#include <vector>
+
+#include "core/rng.hh"
+#include "planner/types.hh"
+
+namespace laer
+{
+
+/**
+ * Priority-queue proportional allocation: every expert starts with one
+ * replica; remaining slots go to the expert whose load-per-replica is
+ * currently highest. Replica counts are capped at n_devices (a device
+ * hosting the same expert twice adds no balancing power). Requires
+ * n_experts <= n_devices * capacity and capacity <= n_experts.
+ *
+ * @param expert_loads  Total tokens per expert (column sums of R).
+ * @return replicas per expert, summing to n_devices * capacity.
+ */
+std::vector<int> replicaAllocation(const std::vector<TokenCount> &expert_loads,
+                                   int n_devices, int capacity);
+
+/**
+ * Even allocation: floor(N*C / E) replicas each, remainder granted to
+ * the highest-load experts so the slot budget is exactly consumed.
+ */
+std::vector<int> evenAllocation(const std::vector<TokenCount> &expert_loads,
+                                int n_devices, int capacity);
+
+/**
+ * Random perturbation used by the tuner (Alg. 2 lines 5-7): move one
+ * replica from a random expert holding more than one to a random other
+ * expert below `max_per_expert`. Feasibility (every expert keeps >= 1
+ * replica, none exceeds the cap) is preserved. Returns the input
+ * unchanged when no legal move exists.
+ */
+std::vector<int> perturbAllocation(std::vector<int> replicas, Rng &rng,
+                                   int max_per_expert);
+
+} // namespace laer
+
+#endif // LAER_PLANNER_REPLICA_ALLOC_HH

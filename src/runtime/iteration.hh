@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Iteration graph builder: turns per-layer routing plans into the
+ * stream/task timeline of Fig. 5 / Fig. 7 and measures it on the
+ * discrete-event engine.
+ */
+
+#ifndef LAER_RUNTIME_ITERATION_HH
+#define LAER_RUNTIME_ITERATION_HH
+
+#include <vector>
+
+#include "model/config.hh"
+#include "planner/types.hh"
+#include "runtime/system.hh"
+#include "sim/engine.hh"
+#include "topo/cluster.hh"
+
+namespace laer
+{
+
+/** Inflation applied to wire ops that contend for the same channel
+ * when prefetch is NOT serialised behind the token All-to-All
+ * (Fig. 5(c) "slowdown"). */
+constexpr double kChannelContention = 1.35;
+
+/** Effective HBM bandwidth for the optimizer sweep, B/s. */
+constexpr double kHbmBandwidth = 1.3e12;
+
+/** Per-way GEMM efficiency loss of tensor parallelism: splitting the
+ * attention projections shrinks per-device GEMMs below their
+ * efficiency sweet spot (Sec. 5.2: "larger TP ... hurting
+ * efficiency"). Compute time scales by 1 + k*(tp-1). */
+constexpr double kTpInefficiency = 0.08;
+
+/**
+ * Fine-grained recomputation granularity (paper Sec. 4): LAER-MoE can
+ * recompute just the expert MLP (avoiding extra All-to-All during the
+ * backward pass), just attention, both (which re-dispatches tokens),
+ * or nothing.
+ */
+enum class RecomputeMode
+{
+    None,          //!< keep all activations
+    ExpertOnly,    //!< re-run expert GEMMs, reuse dispatched tokens
+    AttentionOnly, //!< re-run attention, keep expert activations
+    Full,          //!< re-run the whole layer incl. token All-to-All
+};
+
+/** Static description of one micro-batch to simulate. */
+struct IterationSpec
+{
+    const ModelConfig *model = nullptr;
+    SystemKind system = SystemKind::Laer;
+    ScheduleFlags flags = ScheduleFlags::all();
+    bool checkpointing = true;
+    /** Recompute granularity; checkpointing==true with the default
+     * mode means ExpertOnly (the paper's choice). */
+    RecomputeMode recompute = RecomputeMode::ExpertOnly;
+    int seqLen = 8192;
+    TokenCount tokensPerDevice = 16384; //!< S per micro-batch
+    int tpDegree = 1;                   //!< Megatron attention TP
+    /** Megatron expert tensor parallelism: each expert's GEMMs split
+     * over this many devices, shrinking the per-device compute tail
+     * (Megatron "MoE parallel folding"). 1 = off. */
+    int expertTpDegree = 1;
+    int capacityHint = 2;               //!< C, expert slots per device
+    bool withGradSync = true;           //!< last micro-batch of the step
+    /** Per-MoE-layer token routing plans (already decided). */
+    std::vector<const RoutingPlan *> layerPlans;
+};
+
+/** Timing and breakdown of one simulated micro-batch. */
+struct MicroBatchResult
+{
+    Seconds makespan = 0.0;
+    Seconds a2aBusy = 0.0;       //!< token A2A per device
+    Seconds expertBusy = 0.0;    //!< expert fwd+bwd compute per device
+    Seconds othersBusy = 0.0;    //!< attention, head, misc compute
+    Seconds exposedPrefetch = 0.0;
+    Seconds exposedGradSync = 0.0;
+};
+
+/**
+ * Build the full forward+backward timeline of one micro-batch on the
+ * event engine and return its timing breakdown.
+ */
+MicroBatchResult simulateMicroBatch(const Cluster &cluster,
+                                    const IterationSpec &spec);
+
+/** Optimizer-step duration (fully sharded parameter sweep). */
+Seconds optimizerStepTime(const ModelConfig &model, int n_devices);
+
+/** LM-head forward time for one micro-batch (backward costs 2x). */
+Seconds lmHeadForwardTime(const ModelConfig &model, TokenCount tokens,
+                          int tp_degree, double compute_flops);
+
+} // namespace laer
+
+#endif // LAER_RUNTIME_ITERATION_HH

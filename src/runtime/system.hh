@@ -1,0 +1,55 @@
+/**
+ * @file
+ * System identities and schedule flags shared by the runtime.
+ */
+
+#ifndef LAER_RUNTIME_SYSTEM_HH
+#define LAER_RUNTIME_SYSTEM_HH
+
+#include <string>
+
+namespace laer
+{
+
+/** The training systems compared in the paper's evaluation. */
+enum class SystemKind
+{
+    Laer,     //!< FSEP + load-balancing planner (this paper)
+    FsdpEp,   //!< FSDP+EP baseline with Sec. 3.1 comm optimisations
+    Megatron, //!< heterogeneous EP + TP attention, static layout
+    FlexMoe,  //!< FSEP executor + FlexMoE scheduler (Sec. 5.2 setup)
+    SmartMoe, //!< relocation-only planner at low frequency
+};
+
+/** Printable system name matching the paper's labels. */
+const char *systemName(SystemKind kind);
+
+/**
+ * The three communication-scheduling optimisations of Fig. 5. All on
+ * for LAER-MoE (and the strengthened FSDP+EP baseline); all off
+ * reproduces the "no_comm_opt" ablation of Fig. 12.
+ */
+struct ScheduleFlags
+{
+    /** Fig. 5(b): prefetch layer L+1 experts under layer L's expert
+     * computation instead of under attention. */
+    bool relaxedPrefetch = true;
+
+    /** Fig. 5(c): launch prefetch only after the token All-to-All has
+     * finished to avoid channel contention. */
+    bool prefetchAfterA2A = true;
+
+    /** Fig. 5(e): postpone gradient resharding to overlap the next
+     * layer's backward computation. */
+    bool delayedGradSync = true;
+
+    /** All optimisations enabled. */
+    static ScheduleFlags all() { return {true, true, true}; }
+
+    /** All optimisations disabled. */
+    static ScheduleFlags none() { return {false, false, false}; }
+};
+
+} // namespace laer
+
+#endif // LAER_RUNTIME_SYSTEM_HH

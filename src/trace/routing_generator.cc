@@ -1,0 +1,115 @@
+#include "trace/routing_generator.hh"
+
+#include <cmath>
+
+#include "core/error.hh"
+
+namespace laer
+{
+
+RoutingModel
+RoutingModel::wikitext(int n_devices, int n_experts, int top_k,
+                       TokenCount tokens_per_device)
+{
+    RoutingModel m;
+    m.numDevices = n_devices;
+    m.numExperts = n_experts;
+    m.topK = top_k;
+    m.tokensPerDevice = tokens_per_device;
+    m.skew = 0.75;
+    m.drift = 0.985;
+    m.deviceJitter = 0.15;
+    return m;
+}
+
+RoutingModel
+RoutingModel::c4(int n_devices, int n_experts, int top_k,
+                 TokenCount tokens_per_device)
+{
+    RoutingModel m;
+    m.numDevices = n_devices;
+    m.numExperts = n_experts;
+    m.topK = top_k;
+    m.tokensPerDevice = tokens_per_device;
+    m.skew = 0.55;
+    m.drift = 0.95;
+    m.deviceJitter = 0.25;
+    return m;
+}
+
+RoutingGenerator::RoutingGenerator(const RoutingModel &model)
+    : model_(model), rng_(model.seed)
+{
+    LAER_CHECK(model_.numDevices > 0 && model_.numExperts > 0,
+               "routing generator needs devices and experts");
+    LAER_CHECK(model_.topK >= 1 && model_.topK <= model_.numExperts,
+               "top-k out of range");
+    LAER_CHECK(model_.drift >= 0.0 && model_.drift < 1.0,
+               "drift must be in [0, 1)");
+    // Initialise logits at the stationary distribution of the AR(1)
+    // process so iteration 0 is already representative.
+    logits_.resize(model_.numExperts);
+    for (auto &l : logits_)
+        l = rng_.gaussian(0.0, model_.skew);
+}
+
+std::vector<double>
+RoutingGenerator::popularity() const
+{
+    std::vector<double> p(logits_.size());
+    double max_logit = logits_[0];
+    for (double l : logits_)
+        max_logit = std::max(max_logit, l);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < logits_.size(); ++i) {
+        p[i] = std::exp(logits_[i] - max_logit);
+        sum += p[i];
+    }
+    for (auto &v : p)
+        v /= sum;
+    return p;
+}
+
+RoutingMatrix
+RoutingGenerator::next()
+{
+    // AR(1) logit evolution with stationary std = skew:
+    //   l <- drift * l + sqrt(1 - drift^2) * skew * noise
+    const double rho = model_.drift;
+    const double sigma = std::sqrt(1.0 - rho * rho) * model_.skew;
+    for (auto &l : logits_)
+        l = rho * l + rng_.gaussian(0.0, sigma);
+
+    // Auxiliary-loss feedback: shrink logits toward 0 (uniform
+    // routing). The rate is calibrated so weight 1e-2 balances within
+    // ~10^2 iterations (paper Fig. 2) while 1e-4 damps mildly.
+    if (model_.auxLossWeight > 0.0) {
+        const double shrink =
+            std::exp(-300.0 * model_.auxLossWeight);
+        for (auto &l : logits_)
+            l *= shrink;
+    }
+
+    const std::vector<double> global = popularity();
+    RoutingMatrix routing(model_.numDevices, model_.numExperts);
+    const TokenCount routed =
+        model_.tokensPerDevice * static_cast<TokenCount>(model_.topK);
+
+    for (DeviceId d = 0; d < model_.numDevices; ++d) {
+        // Per-device jitter: Dirichlet around the global popularity.
+        std::vector<double> alphas(global.size());
+        const double conc = 1.0 / std::max(1e-6, model_.deviceJitter);
+        for (std::size_t j = 0; j < global.size(); ++j)
+            alphas[j] = std::max(1e-3, global[j] * conc *
+                                           static_cast<double>(
+                                               model_.numExperts));
+        const std::vector<double> local = rng_.dirichlet(alphas);
+        const std::vector<std::int64_t> counts =
+            rng_.multinomial(routed, local);
+        for (ExpertId j = 0; j < model_.numExperts; ++j)
+            routing.at(d, j) = counts[j];
+    }
+    return routing;
+}
+
+} // namespace laer

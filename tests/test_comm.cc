@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the collective cost models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "comm/collectives.hh"
+#include "topo/cluster.hh"
+
+namespace laer
+{
+namespace
+{
+
+Cluster
+twoNode()
+{
+    // 2 nodes x 2 devices, 100 GB/s intra, 10 GB/s inter, 1 TFLOP.
+    return Cluster(2, 2, 100e9, 10e9, 1e12);
+}
+
+TEST(Collectives, ZeroVolumeShape)
+{
+    const auto v = zeroVolume(3);
+    ASSERT_EQ(v.size(), 3u);
+    for (const auto &row : v) {
+        ASSERT_EQ(row.size(), 3u);
+        for (Bytes b : row)
+            EXPECT_EQ(b, 0);
+    }
+}
+
+TEST(Collectives, PairSumMatchesManualComputation)
+{
+    const Cluster c = twoNode();
+    auto v = zeroVolume(4);
+    v[0][1] = 100e9; // intra: 1 s
+    v[0][2] = 10e9;  // inter: 1 s
+    v[3][3] = 999;   // diagonal ignored
+    EXPECT_NEAR(a2aPairSumCost(c, v), 2.0, 1e-9);
+}
+
+TEST(Collectives, BottleneckIsBusiestPort)
+{
+    const Cluster c = twoNode();
+    auto v = zeroVolume(4);
+    // Device 0 sends 10 GB across nodes (1 s on its NIC); everyone
+    // else idle -> op takes ~1 s regardless of other cheap traffic.
+    v[0][2] = 10e9;
+    v[1][0] = 1e9; // intra, 0.01 s
+    const Seconds t = a2aBottleneckTime(c, v);
+    EXPECT_NEAR(t, 1.0 + kCollectiveAlpha, 1e-6);
+}
+
+TEST(Collectives, BottleneckCountsRecvSide)
+{
+    const Cluster c = twoNode();
+    auto v = zeroVolume(4);
+    // Device 3 receives 10 GB from two cross-node senders: its NIC
+    // must drain 20 GB -> 2 s, even though each sender only sends 1 s.
+    v[0][3] = 10e9;
+    v[1][3] = 10e9;
+    EXPECT_NEAR(a2aBottleneckTime(c, v), 2.0 + kCollectiveAlpha, 1e-6);
+}
+
+TEST(Collectives, BottleneckZeroTrafficIsFree)
+{
+    const Cluster c = twoNode();
+    EXPECT_DOUBLE_EQ(a2aBottleneckTime(c, zeroVolume(4)), 0.0);
+}
+
+TEST(Collectives, UniformA2ASplitsByPortClass)
+{
+    const Cluster c = twoNode();
+    const std::vector<DeviceId> group{0, 1, 2, 3};
+    // Each pair exchanges 10 GB: per device, 10 GB intra (1 peer) and
+    // 20 GB inter (2 peers) -> 0.1 s + 2.0 s.
+    const Seconds t = a2aUniformTime(c, group, 10e9);
+    EXPECT_NEAR(t, 2.1 + kCollectiveAlpha, 1e-6);
+}
+
+TEST(Collectives, UniformA2ATrivialGroup)
+{
+    const Cluster c = twoNode();
+    EXPECT_DOUBLE_EQ(a2aUniformTime(c, {0}, 1e9), 0.0);
+    EXPECT_DOUBLE_EQ(a2aUniformTime(c, {0, 1}, 0), 0.0);
+}
+
+TEST(Collectives, AllGatherRingScalesWithGroup)
+{
+    const Cluster c = twoNode();
+    // Intra-node pair: (2-1)/2 * 10 GB over 100 GB/s = 0.05 s.
+    EXPECT_NEAR(allGatherTime(c, {0, 1}, 10e9),
+                0.05 + kCollectiveAlpha, 1e-9);
+    // Cross-node ring is bottlenecked by the 10 GB/s edge.
+    EXPECT_NEAR(allGatherTime(c, {0, 2}, 10e9),
+                0.5 + kCollectiveAlpha, 1e-9);
+}
+
+TEST(Collectives, ReduceScatterEqualsAllGatherWire)
+{
+    const Cluster c = twoNode();
+    EXPECT_DOUBLE_EQ(reduceScatterTime(c, {0, 1, 2, 3}, 8e9),
+                     allGatherTime(c, {0, 1, 2, 3}, 8e9));
+}
+
+TEST(Collectives, AllReduceIsTwoPhases)
+{
+    const Cluster c = twoNode();
+    const std::vector<DeviceId> g{0, 1, 2, 3};
+    EXPECT_DOUBLE_EQ(allReduceTime(c, g, 8e9),
+                     reduceScatterTime(c, g, 8e9) +
+                         allGatherTime(c, g, 8e9));
+    EXPECT_DOUBLE_EQ(allReduceTime(c, {2}, 8e9), 0.0);
+}
+
+TEST(Collectives, P2PUsesLinkBandwidth)
+{
+    const Cluster c = twoNode();
+    EXPECT_NEAR(p2pTime(c, 0, 1, 100e9), 1.0 + kCollectiveAlpha, 1e-9);
+    EXPECT_NEAR(p2pTime(c, 0, 2, 10e9), 1.0 + kCollectiveAlpha, 1e-9);
+    EXPECT_DOUBLE_EQ(p2pTime(c, 1, 1, 10e9), 0.0);
+}
+
+TEST(Collectives, TotalWireBytesSkipsDiagonal)
+{
+    auto v = zeroVolume(3);
+    v[0][1] = 5;
+    v[1][2] = 7;
+    v[2][2] = 1000;
+    EXPECT_EQ(totalWireBytes(v), 12);
+}
+
+} // namespace
+} // namespace laer

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for the core utilities: RNG distributions, descriptive
+ * statistics, table rendering and error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/error.hh"
+#include "core/rng.hh"
+#include "core/stats.hh"
+#include "core/table.hh"
+
+namespace laer
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.nextU64() == b.nextU64());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntRespectsBounds)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const int v = rng.uniformInt(3, 7);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 7);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 7);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(11);
+    std::vector<double> xs(20000);
+    for (auto &x : xs)
+        x = rng.gaussian(2.0, 0.5);
+    EXPECT_NEAR(mean(xs), 2.0, 0.02);
+    EXPECT_NEAR(stddev(xs), 0.5, 0.02);
+}
+
+TEST(Rng, GammaMeanMatchesShape)
+{
+    Rng rng(13);
+    for (double shape : {0.5, 1.0, 3.0, 9.0}) {
+        std::vector<double> xs(20000);
+        for (auto &x : xs)
+            x = rng.gamma(shape);
+        EXPECT_NEAR(mean(xs), shape, 0.08 * shape + 0.03)
+            << "shape=" << shape;
+    }
+}
+
+TEST(Rng, DirichletSumsToOne)
+{
+    Rng rng(17);
+    for (double alpha : {0.1, 1.0, 10.0}) {
+        const auto p = rng.dirichlet(8, alpha);
+        double sum = 0.0;
+        for (double v : p) {
+            EXPECT_GE(v, 0.0);
+            sum += v;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-12);
+    }
+}
+
+TEST(Rng, DirichletSmallAlphaIsSkewed)
+{
+    Rng rng(19);
+    double max_small = 0.0, max_large = 0.0;
+    for (int i = 0; i < 200; ++i) {
+        max_small += maxOf(rng.dirichlet(8, 0.1));
+        max_large += maxOf(rng.dirichlet(8, 50.0));
+    }
+    EXPECT_GT(max_small / 200, max_large / 200 + 0.2);
+}
+
+TEST(Rng, ZipfFavoursLowRanks)
+{
+    Rng rng(23);
+    std::vector<int> hist(16, 0);
+    for (int i = 0; i < 20000; ++i)
+        ++hist[rng.zipf(16, 1.2)];
+    EXPECT_GT(hist[0], hist[4]);
+    EXPECT_GT(hist[1], hist[8]);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_GT(hist[i], 0) << "rank " << i << " never sampled";
+}
+
+TEST(Rng, MultinomialConservesTotal)
+{
+    Rng rng(29);
+    const std::vector<double> probs{0.5, 0.25, 0.125, 0.125};
+    for (std::int64_t total : {0LL, 1LL, 100LL, 123457LL}) {
+        const auto counts = rng.multinomial(total, probs);
+        std::int64_t sum = 0;
+        for (auto c : counts) {
+            EXPECT_GE(c, 0);
+            sum += c;
+        }
+        EXPECT_EQ(sum, total);
+    }
+}
+
+TEST(Rng, MultinomialMatchesProportions)
+{
+    Rng rng(31);
+    const std::vector<double> probs{8.0, 4.0, 2.0, 2.0};
+    const auto counts = rng.multinomial(1600000, probs);
+    EXPECT_NEAR(static_cast<double>(counts[0]), 800000, 8000);
+    EXPECT_NEAR(static_cast<double>(counts[1]), 400000, 8000);
+}
+
+TEST(Rng, PermutationIsBijective)
+{
+    Rng rng(37);
+    const auto perm = rng.permutation(50);
+    std::vector<bool> seen(50, false);
+    for (int v : perm) {
+        ASSERT_GE(v, 0);
+        ASSERT_LT(v, 50);
+        EXPECT_FALSE(seen[v]);
+        seen[v] = true;
+    }
+}
+
+TEST(Stats, MeanAndStddev)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+    EXPECT_NEAR(stddev({1.0, 3.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, Percentile)
+{
+    std::vector<double> xs{1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+}
+
+TEST(Stats, ImbalanceFactor)
+{
+    EXPECT_DOUBLE_EQ(imbalanceFactor({4, 4, 4, 4}), 1.0);
+    EXPECT_DOUBLE_EQ(imbalanceFactor({8, 0, 0, 0}), 4.0);
+    EXPECT_DOUBLE_EQ(imbalanceFactor({}), 1.0);
+}
+
+TEST(Stats, AccumulatorTracksSummary)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0);
+    acc.add(3.0);
+    acc.add(1.0);
+    acc.add(2.0);
+    EXPECT_EQ(acc.count(), 3);
+    EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 3.0);
+    EXPECT_DOUBLE_EQ(acc.sum(), 6.0);
+}
+
+TEST(Table, RendersAlignedAndCsv)
+{
+    Table t("demo");
+    t.setHeader({"name", "value"});
+    t.startRow();
+    t.cell("alpha");
+    t.cell(1.5, 2);
+    t.startRow();
+    t.cell("b");
+    t.cell(std::int64_t{42});
+    EXPECT_EQ(t.rowCount(), 2u);
+
+    std::ostringstream text;
+    t.print(text);
+    EXPECT_NE(text.str().find("demo"), std::string::npos);
+    EXPECT_NE(text.str().find("1.50"), std::string::npos);
+
+    std::ostringstream csv;
+    t.printCsv(csv);
+    EXPECT_EQ(csv.str(), "name,value\nalpha,1.50\nb,42\n");
+}
+
+TEST(Error, FatalThrowsCheckMacro)
+{
+    EXPECT_THROW(fatal("boom"), FatalError);
+    EXPECT_THROW(LAER_CHECK(1 == 2, "must fail"), FatalError);
+    EXPECT_NO_THROW(LAER_CHECK(1 == 1, "fine"));
+}
+
+} // namespace
+} // namespace laer

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests for the FSEP executor: shard/unshard/reshard correctness,
+ * traffic accounting against the analytic Sec. 3.1 formulas, and the
+ * volume/overlap arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/error.hh"
+#include "core/rng.hh"
+#include "fsep/sharded_experts.hh"
+#include "fsep/volume.hh"
+#include "model/config.hh"
+
+namespace laer
+{
+namespace
+{
+
+ExpertWeights
+randomExperts(int n_experts, int size, std::uint64_t seed)
+{
+    Rng rng(seed);
+    ExpertWeights w(n_experts, std::vector<float>(size));
+    for (auto &expert : w)
+        for (auto &v : expert)
+            v = static_cast<float>(rng.gaussian());
+    return w;
+}
+
+TEST(ShardedExperts, ShardGatherRoundTripIsBitExact)
+{
+    const ExpertWeights w = randomExperts(4, 64, 1);
+    const ShardedExperts sharded(w, 8);
+    const ExpertWeights back = sharded.gatherFull();
+    ASSERT_EQ(back.size(), w.size());
+    for (std::size_t e = 0; e < w.size(); ++e)
+        for (std::size_t i = 0; i < w[e].size(); ++i)
+            EXPECT_EQ(back[e][i], w[e][i]);
+}
+
+TEST(ShardedExperts, ChunkLayoutMatchesFlattenDivide)
+{
+    const ExpertWeights w = randomExperts(2, 8, 2);
+    const ShardedExperts sharded(w, 4);
+    EXPECT_EQ(sharded.chunkSize(), 2);
+    // Device d holds elements [2d, 2d+2) of every expert (Fig. 4a).
+    for (DeviceId d = 0; d < 4; ++d)
+        for (ExpertId e = 0; e < 2; ++e) {
+            EXPECT_EQ(sharded.chunk(d, e)[0], w[e][2 * d]);
+            EXPECT_EQ(sharded.chunk(d, e)[1], w[e][2 * d + 1]);
+        }
+}
+
+TEST(ShardedExperts, UnshardRestoresExactParameters)
+{
+    const ExpertWeights w = randomExperts(4, 64, 3);
+    const ShardedExperts sharded(w, 4);
+    // Arbitrary layout: device 0 hosts {0, 2}, device 1 {0, 1}, ...
+    ExpertLayout layout(4, 4);
+    layout.at(0, 0) = 1;
+    layout.at(0, 2) = 1;
+    layout.at(1, 0) = 1;
+    layout.at(1, 1) = 1;
+    layout.at(2, 3) = 1;
+    layout.at(2, 1) = 1;
+    layout.at(3, 2) = 1;
+    layout.at(3, 3) = 1;
+    const UnshardResult result = sharded.unshard(layout);
+    for (DeviceId d = 0; d < 4; ++d) {
+        for (const auto &[expert, params] : result.restored[d]) {
+            ASSERT_EQ(params.size(), w[expert].size());
+            for (std::size_t i = 0; i < params.size(); ++i)
+                EXPECT_EQ(params[i], w[expert][i])
+                    << "device " << d << " expert " << expert;
+        }
+    }
+}
+
+TEST(ShardedExperts, UnshardTrafficMatchesAnalyticVolume)
+{
+    // Sec. 3.1: V_fsep = C * (N-1)/N * Psi_expert per device, send and
+    // receive, for ANY feasible layout.
+    const int n = 4, e = 4, c = 2;
+    const int size = 64;
+    const ExpertWeights w = randomExperts(e, size, 4);
+    const ShardedExperts sharded(w, n);
+    ExpertLayout layout(n, e);
+    // A skewed but feasible layout.
+    layout.at(0, 0) = 1;
+    layout.at(0, 1) = 1;
+    layout.at(1, 0) = 1;
+    layout.at(1, 2) = 1;
+    layout.at(2, 0) = 1;
+    layout.at(2, 3) = 1;
+    layout.at(3, 0) = 1;
+    layout.at(3, 1) = 1;
+    ASSERT_TRUE(layout.feasible(c));
+
+    const UnshardResult result = sharded.unshard(layout);
+    const Bytes expert_bytes = size * sizeof(float);
+    const Bytes expected =
+        fsepUnshardVolume(n, c, expert_bytes);
+    for (DeviceId d = 0; d < n; ++d) {
+        Bytes recv = 0;
+        for (DeviceId src = 0; src < n; ++src)
+            if (src != d)
+                recv += result.traffic[src][d];
+        EXPECT_EQ(recv, expected) << "device " << d;
+    }
+}
+
+TEST(ShardedExperts, ReshardReducesAcrossReplicas)
+{
+    const int n = 2, e = 2;
+    const int size = 8;
+    const ExpertWeights w = randomExperts(e, size, 5);
+    const ShardedExperts sharded(w, n);
+    ExpertLayout layout(n, e);
+    layout.at(0, 0) = 1; // expert 0 replicated on both devices
+    layout.at(1, 0) = 1;
+    layout.at(0, 1) = 1;
+    layout.at(1, 1) = 1;
+
+    // Device 0 contributes grad=1s for expert 0; device 1 grad=2s.
+    std::vector<std::vector<std::pair<ExpertId, std::vector<float>>>>
+        grads(n);
+    grads[0].emplace_back(0, std::vector<float>(size, 1.0f));
+    grads[1].emplace_back(0, std::vector<float>(size, 2.0f));
+    grads[0].emplace_back(1, std::vector<float>(size, 5.0f));
+    grads[1].emplace_back(1, std::vector<float>(size, 0.0f));
+
+    const ReshardResult result = sharded.reshard(layout, grads);
+    for (DeviceId d = 0; d < n; ++d) {
+        for (float v : result.chunks[d][0])
+            EXPECT_FLOAT_EQ(v, 3.0f); // 1 + 2 reduced
+        for (float v : result.chunks[d][1])
+            EXPECT_FLOAT_EQ(v, 5.0f);
+    }
+}
+
+TEST(ShardedExperts, ReshardRejectsGradFromNonHost)
+{
+    const ExpertWeights w = randomExperts(2, 8, 6);
+    const ShardedExperts sharded(w, 2);
+    ExpertLayout layout(2, 2);
+    layout.at(0, 0) = 1;
+    layout.at(1, 1) = 1;
+    std::vector<std::vector<std::pair<ExpertId, std::vector<float>>>>
+        grads(2);
+    grads[1].emplace_back(0, std::vector<float>(8, 1.0f)); // not host
+    EXPECT_THROW(sharded.reshard(layout, grads), FatalError);
+}
+
+TEST(ShardedExperts, SgdStepMatchesSingleDeviceReference)
+{
+    // Full loop: unshard -> compute grads -> reshard -> apply, must
+    // equal a plain single-device SGD update.
+    const int n = 4, e = 4, size = 32;
+    const float lr = 0.1f;
+    const ExpertWeights w = randomExperts(e, size, 7);
+    ShardedExperts sharded(w, n);
+    ExpertLayout layout(n, e);
+    layout.at(0, 0) = 1;
+    layout.at(0, 1) = 1;
+    layout.at(1, 1) = 1;
+    layout.at(1, 2) = 1;
+    layout.at(2, 2) = 1;
+    layout.at(2, 3) = 1;
+    layout.at(3, 3) = 1;
+    layout.at(3, 0) = 1;
+    ASSERT_TRUE(layout.feasible(2));
+
+    // Each replica contributes grad = expert_id + device_id * 0.25.
+    std::vector<std::vector<std::pair<ExpertId, std::vector<float>>>>
+        grads(n);
+    std::vector<std::vector<float>> total(e,
+                                          std::vector<float>(size, 0));
+    for (DeviceId d = 0; d < n; ++d)
+        for (ExpertId j = 0; j < e; ++j)
+            if (layout.at(d, j) > 0) {
+                const float g = static_cast<float>(j) + 0.25f * d;
+                grads[d].emplace_back(j,
+                                      std::vector<float>(size, g));
+                for (auto &v : total[j])
+                    v += g;
+            }
+
+    sharded.applyGrad(sharded.reshard(layout, grads), lr);
+    const ExpertWeights updated = sharded.gatherFull();
+    for (ExpertId j = 0; j < e; ++j)
+        for (int i = 0; i < size; ++i)
+            EXPECT_FLOAT_EQ(updated[j][i],
+                            w[j][i] - lr * total[j][i]);
+}
+
+TEST(ShardedExperts, RejectsIndivisibleExpertSize)
+{
+    const ExpertWeights w = randomExperts(2, 10, 8);
+    EXPECT_THROW(ShardedExperts(w, 4), FatalError);
+}
+
+TEST(Volume, FsepFormulaMatchesPaper)
+{
+    // Example from Sec. 3.1: P_fsep=32, P_ep=4, P_fsdp=8 gives a
+    // volume ratio of ~1.1.
+    EXPECT_NEAR(fsepToFsdpVolumeRatio(32, 8), 1.107, 0.005);
+    const Bytes psi = 1000;
+    EXPECT_EQ(fsepUnshardVolume(32, 2, psi),
+              static_cast<Bytes>(2.0 * 31.0 / 32.0 * 1000));
+    EXPECT_EQ(fsdpUnshardVolume(8, 2, psi),
+              static_cast<Bytes>(7.0 / 8.0 * 2 * 1000));
+}
+
+TEST(Volume, RatioApproachesOneWithScale)
+{
+    // When the cluster grows, both P_fsep and P_fsdp grow and the
+    // ratio tends to 1 (Sec. 3.1).
+    EXPECT_GT(fsepToFsdpVolumeRatio(32, 8),
+              fsepToFsdpVolumeRatio(128, 32));
+    EXPECT_NEAR(fsepToFsdpVolumeRatio(1024, 512), 1.0, 0.01);
+}
+
+TEST(Volume, OverlapThresholdMatchesEq1Paper17K)
+{
+    // Sec. 3.1: with the experimental constants, Eq. 1 is satisfied
+    // for S >= ~17K tokens per device.
+    const ModelConfig cfg = mixtral8x7bE8K2();
+    const Cluster c = Cluster::a100(4);
+    const TokenCount s = overlapThresholdTokens(
+        2, cfg.topK, cfg.expertParamBytes(), cfg.expertFlopsPerToken(),
+        c.computeFlops(), c.interBw());
+    EXPECT_NEAR(static_cast<double>(s), 17000, 1000);
+}
+
+TEST(Volume, MigrationIsSixTimesParams)
+{
+    EXPECT_EQ(relocationMigrationVolume(100), 600);
+}
+
+} // namespace
+} // namespace laer

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Tests for the numeric MoE layer and trainer: gradient checks via
+ * finite differences, aux-loss behaviour, and convergence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "moe/moe_layer.hh"
+#include "moe/trainer.hh"
+
+namespace laer
+{
+namespace
+{
+
+MoeLayerConfig
+tinyConfig(float aux = 0.0f)
+{
+    MoeLayerConfig cfg;
+    cfg.dModel = 6;
+    cfg.dExpert = 5;
+    cfg.numExperts = 4;
+    cfg.topK = 2;
+    cfg.auxLossWeight = aux;
+    return cfg;
+}
+
+TEST(MoeLayer, ForwardIsDeterministic)
+{
+    Rng r1(5), r2(5);
+    MoeLayer a(tinyConfig(), r1), b(tinyConfig(), r2);
+    std::vector<float> x(12, 0.3f), ya(12), yb(12);
+    x[3] = -1.0f;
+    a.forward(x.data(), 2, ya.data());
+    b.forward(x.data(), 2, yb.data());
+    for (int i = 0; i < 12; ++i)
+        EXPECT_FLOAT_EQ(ya[i], yb[i]);
+}
+
+TEST(MoeLayer, RoutesExactlyTopKPerToken)
+{
+    Rng rng(6);
+    MoeLayer layer(tinyConfig(), rng);
+    std::vector<float> x(5 * 6), y(5 * 6);
+    Rng data(7);
+    for (auto &v : x)
+        v = static_cast<float>(data.gaussian());
+    layer.forward(x.data(), 5, y.data());
+    std::int64_t total = 0;
+    for (auto c : layer.lastStats().expertTokenCounts)
+        total += c;
+    EXPECT_EQ(total, 5 * 2);
+}
+
+TEST(MoeLayer, AuxLossZeroWhenDisabled)
+{
+    Rng rng(8);
+    MoeLayer layer(tinyConfig(0.0f), rng);
+    std::vector<float> x(6, 0.5f), y(6);
+    layer.forward(x.data(), 1, y.data());
+    EXPECT_FLOAT_EQ(layer.lastStats().auxLoss, 0.0f);
+}
+
+TEST(MoeLayer, AuxLossAtLeastWeightTimesOne)
+{
+    // Switch bound: E * sum f_i P_i >= 1 with equality at perfect
+    // balance, so the weighted value is >= weight (approximately).
+    Rng rng(9);
+    MoeLayer layer(tinyConfig(0.1f), rng);
+    const int n = 64;
+    std::vector<float> x(n * 6), y(n * 6);
+    Rng data(10);
+    for (auto &v : x)
+        v = static_cast<float>(data.gaussian());
+    layer.forward(x.data(), n, y.data());
+    EXPECT_GE(layer.lastStats().auxLoss, 0.1f * 0.8f);
+}
+
+/**
+ * Finite-difference gradient check of the full layer (including the
+ * gate path but excluding routing discontinuities: we use a loss
+ * L = sum(out * target) and perturbations small enough to keep the
+ * top-k selection stable).
+ */
+TEST(MoeLayer, GradientMatchesFiniteDifference)
+{
+    Rng rng(11);
+    MoeLayer layer(tinyConfig(), rng);
+    const int n = 3, d = 6;
+    std::vector<float> x(n * d), target(n * d);
+    Rng data(12);
+    for (auto &v : x)
+        v = static_cast<float>(data.gaussian(0.0, 1.0));
+    for (auto &v : target)
+        v = static_cast<float>(data.gaussian(0.0, 1.0));
+
+    auto loss_of = [&](const std::vector<float> &input) {
+        std::vector<float> out(n * d);
+        layer.forward(input.data(), n, out.data());
+        double acc = 0.0;
+        for (int i = 0; i < n * d; ++i)
+            acc += static_cast<double>(out[i]) * target[i];
+        return acc;
+    };
+
+    // Analytic dL/dx via backward (dout = target).
+    std::vector<float> out(n * d), dx(n * d);
+    layer.forward(x.data(), n, out.data());
+    layer.backward(x.data(), target.data(), n, dx.data());
+
+    // Probe a handful of input coordinates.
+    const double eps = 1e-3;
+    for (int idx : {0, 4, 7, 11, 17}) {
+        std::vector<float> xp = x, xm = x;
+        xp[idx] += static_cast<float>(eps);
+        xm[idx] -= static_cast<float>(eps);
+        const double numeric =
+            (loss_of(xp) - loss_of(xm)) / (2.0 * eps);
+        EXPECT_NEAR(numeric, dx[idx],
+                    2e-2 * std::max(1.0, std::abs(numeric)))
+            << "coordinate " << idx;
+    }
+}
+
+TEST(MoeLayer, ExpertWeightGradientMatchesFiniteDifference)
+{
+    Rng rng(13);
+    MoeLayer layer(tinyConfig(), rng);
+    const int n = 2, d = 6;
+    std::vector<float> x(n * d), target(n * d);
+    Rng data(14);
+    for (auto &v : x)
+        v = static_cast<float>(data.gaussian());
+    for (auto &v : target)
+        v = static_cast<float>(data.gaussian());
+
+    std::vector<float> out(n * d), dx(n * d);
+    layer.forward(x.data(), n, out.data());
+    // Identify an expert that actually received tokens.
+    int used = -1;
+    for (int e = 0; e < 4; ++e)
+        if (layer.lastStats().expertTokenCounts[e] > 0)
+            used = e;
+    ASSERT_GE(used, 0);
+    layer.backward(x.data(), target.data(), n, dx.data());
+    const float analytic = layer.expertWeight(used, 2).grad().at(0, 0);
+
+    const double eps = 1e-3;
+    auto loss_now = [&]() {
+        std::vector<float> o(n * d);
+        layer.forward(x.data(), n, o.data());
+        double acc = 0.0;
+        for (int i = 0; i < n * d; ++i)
+            acc += static_cast<double>(o[i]) * target[i];
+        return acc;
+    };
+    float &w = layer.expertWeight(used, 2).weight().at(0, 0);
+    const float orig = w;
+    w = orig + static_cast<float>(eps);
+    const double up = loss_now();
+    w = orig - static_cast<float>(eps);
+    const double dn = loss_now();
+    w = orig;
+    const double numeric = (up - dn) / (2.0 * eps);
+    EXPECT_NEAR(numeric, analytic,
+                2e-2 * std::max(1.0, std::abs(numeric)));
+}
+
+/**
+ * Parameterised gradient check across layer shapes: the manual
+ * backprop must match finite differences for every (E, K, dModel,
+ * dExpert) combination, not just the default one.
+ */
+using LayerShape = std::tuple<int, int, int, int>; // E, K, dm, de
+
+class MoeLayerShapes : public ::testing::TestWithParam<LayerShape>
+{
+};
+
+TEST_P(MoeLayerShapes, InputGradientMatchesFiniteDifference)
+{
+    const auto [experts, k, dm, de] = GetParam();
+    MoeLayerConfig cfg;
+    cfg.numExperts = experts;
+    cfg.topK = k;
+    cfg.dModel = dm;
+    cfg.dExpert = de;
+    Rng rng(101 + experts * 7 + k);
+    MoeLayer layer(cfg, rng);
+
+    const int n = 2;
+    Rng data(55);
+    std::vector<float> x(n * dm), target(n * dm);
+    for (auto &v : x)
+        v = static_cast<float>(data.gaussian());
+    for (auto &v : target)
+        v = static_cast<float>(data.gaussian());
+
+    std::vector<float> out(n * dm), dx(n * dm);
+    layer.forward(x.data(), n, out.data());
+    layer.backward(x.data(), target.data(), n, dx.data());
+
+    auto loss_of = [&](const std::vector<float> &input) {
+        std::vector<float> o(n * dm);
+        layer.forward(input.data(), n, o.data());
+        double acc = 0.0;
+        for (int i = 0; i < n * dm; ++i)
+            acc += static_cast<double>(o[i]) * target[i];
+        return acc;
+    };
+    const double eps = 1e-3;
+    for (int idx : {0, dm / 2, dm + 1}) {
+        std::vector<float> xp = x, xm = x;
+        xp[idx] += static_cast<float>(eps);
+        xm[idx] -= static_cast<float>(eps);
+        const double numeric =
+            (loss_of(xp) - loss_of(xm)) / (2.0 * eps);
+        EXPECT_NEAR(numeric, dx[idx],
+                    3e-2 * std::max(1.0, std::abs(numeric)))
+            << "coordinate " << idx;
+    }
+}
+
+TEST_P(MoeLayerShapes, RoutingCountsMatchTopK)
+{
+    const auto [experts, k, dm, de] = GetParam();
+    MoeLayerConfig cfg;
+    cfg.numExperts = experts;
+    cfg.topK = k;
+    cfg.dModel = dm;
+    cfg.dExpert = de;
+    Rng rng(33);
+    MoeLayer layer(cfg, rng);
+    const int n = 16;
+    Rng data(44);
+    std::vector<float> x(n * dm), y(n * dm);
+    for (auto &v : x)
+        v = static_cast<float>(data.gaussian());
+    layer.forward(x.data(), n, y.data());
+    std::int64_t total = 0;
+    for (auto c : layer.lastStats().expertTokenCounts)
+        total += c;
+    EXPECT_EQ(total, static_cast<std::int64_t>(n) * k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MoeLayerShapes,
+    ::testing::Values(LayerShape{2, 1, 4, 4}, LayerShape{4, 2, 6, 5},
+                      LayerShape{8, 2, 8, 12}, LayerShape{8, 4, 6, 6},
+                      LayerShape{16, 4, 8, 4},
+                      LayerShape{4, 4, 6, 8}, // K == E: dense MoE
+                      LayerShape{3, 2, 5, 7}),
+    [](const auto &info) {
+        return "e" + std::to_string(std::get<0>(info.param)) + "k" +
+               std::to_string(std::get<1>(info.param)) + "_d" +
+               std::to_string(std::get<2>(info.param)) + "x" +
+               std::to_string(std::get<3>(info.param));
+    });
+
+TrainerConfig
+smallTrainer(float aux, std::uint64_t seed = 7)
+{
+    TrainerConfig cfg;
+    cfg.vocab = 64;
+    cfg.dModel = 16;
+    cfg.dExpert = 32;
+    cfg.numExperts = 4;
+    cfg.topK = 2;
+    cfg.batch = 64;
+    cfg.auxLossWeight = aux;
+    cfg.seed = seed;
+    return cfg;
+}
+
+TEST(MoeTrainer, LossDecreasesOnSyntheticTask)
+{
+    MoeTrainer trainer(smallTrainer(0.0f));
+    const float before = trainer.evalLoss();
+    trainer.run(150);
+    const float after = trainer.evalLoss();
+    EXPECT_LT(after, before - 0.5f)
+        << "before=" << before << " after=" << after;
+}
+
+TEST(MoeTrainer, DeterministicAcrossRuns)
+{
+    MoeTrainer a(smallTrainer(0.0f)), b(smallTrainer(0.0f));
+    const auto ra = a.run(10), rb = b.run(10);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FLOAT_EQ(ra[i].loss, rb[i].loss);
+}
+
+TEST(MoeTrainer, ZipfTaskInducesExpertImbalance)
+{
+    // The premise of the whole paper (Fig. 1a): natural data skews
+    // expert loads.
+    MoeTrainer trainer(smallTrainer(0.0f));
+    trainer.run(100);
+    const auto counts = trainer.step().expertTokenCounts;
+    std::int64_t max_c = 0, total = 0;
+    for (auto c : counts) {
+        max_c = std::max(max_c, c);
+        total += c;
+    }
+    const double mean_c =
+        static_cast<double>(total) / static_cast<double>(counts.size());
+    EXPECT_GT(static_cast<double>(max_c), 1.15 * mean_c);
+}
+
+TEST(MoeTrainer, AuxLossImprovesBalance)
+{
+    MoeTrainer plain(smallTrainer(0.0f));
+    MoeTrainer balanced(smallTrainer(0.05f));
+    plain.run(200);
+    balanced.run(200);
+    auto imbalance = [](const std::vector<std::int64_t> &counts) {
+        std::int64_t mx = 0, total = 0;
+        for (auto c : counts) {
+            mx = std::max(mx, c);
+            total += c;
+        }
+        return static_cast<double>(mx) * counts.size() /
+               static_cast<double>(total);
+    };
+    double imb_plain = 0.0, imb_bal = 0.0;
+    for (int i = 0; i < 10; ++i) {
+        imb_plain += imbalance(plain.step().expertTokenCounts);
+        imb_bal += imbalance(balanced.step().expertTokenCounts);
+    }
+    EXPECT_LT(imb_bal, imb_plain);
+}
+
+TEST(MoeTrainer, ReduceOrderPerturbationStaysTiny)
+{
+    // Fig. 9(b): different systems diverge only through reduction
+    // nondeterminism; relative loss error must stay below 1e-3.
+    TrainerConfig base = smallTrainer(1e-4f);
+    TrainerConfig reordered = base;
+    reordered.reduceSeed = 1234;
+    MoeTrainer a(base), b(reordered);
+    for (int i = 0; i < 50; ++i) {
+        const float la = a.step().loss;
+        const float lb = b.step().loss;
+        EXPECT_NEAR(la, lb, 1e-3f * std::max(1.0f, la))
+            << "step " << i;
+    }
+}
+
+} // namespace
+} // namespace laer

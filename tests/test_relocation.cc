@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for expert relocation (paper Alg. 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/error.hh"
+#include "planner/relocation.hh"
+
+namespace laer
+{
+namespace
+{
+
+Cluster
+cluster24()
+{
+    // 2 nodes x 4 devices.
+    return Cluster(2, 4, 100e9, 10e9, 1e12);
+}
+
+TEST(Relocation, ProducesFeasibleLayout)
+{
+    const Cluster c = cluster24();
+    const std::vector<int> rep{4, 2, 1, 1, 2, 2, 2, 2}; // sums to 16
+    const std::vector<TokenCount> loads{800, 200, 50, 50,
+                                        150, 150, 150, 150};
+    const ExpertLayout a = expertRelocation(c, rep, loads, 2);
+    EXPECT_TRUE(a.feasible(2));
+    for (ExpertId j = 0; j < 8; ++j)
+        EXPECT_EQ(a.replicaCount(j), rep[j]);
+}
+
+TEST(Relocation, SpreadsReplicasAcrossNodes)
+{
+    const Cluster c = cluster24();
+    // Expert 0 gets 2 replicas; with 2 nodes they must land on
+    // different nodes (lite routing splits per node).
+    const std::vector<int> rep{2, 2, 2, 2, 2, 2, 2, 2};
+    const std::vector<TokenCount> loads{500, 100, 100, 100,
+                                        100, 100, 100, 100};
+    const ExpertLayout a = expertRelocation(c, rep, loads, 2);
+    for (ExpertId j = 0; j < 8; ++j) {
+        int per_node[2] = {0, 0};
+        for (DeviceId d = 0; d < 8; ++d)
+            per_node[c.node(d)] += a.at(d, j);
+        EXPECT_EQ(per_node[0], 1) << "expert " << j;
+        EXPECT_EQ(per_node[1], 1) << "expert " << j;
+    }
+}
+
+TEST(Relocation, BalancesDeviceLoads)
+{
+    const Cluster c = cluster24();
+    // Skewed loads with proportional replicas: the resulting expected
+    // per-device load must be far tighter than the naive range.
+    const std::vector<int> rep{5, 3, 2, 1, 1, 1, 2, 1};
+    const std::vector<TokenCount> loads{1000, 600, 400, 90,
+                                        80, 70, 400, 60};
+    const ExpertLayout a = expertRelocation(c, rep, loads, 2);
+    ASSERT_TRUE(a.feasible(2));
+
+    std::vector<double> dev_load(8, 0.0);
+    for (DeviceId d = 0; d < 8; ++d)
+        for (ExpertId j = 0; j < 8; ++j)
+            dev_load[d] += static_cast<double>(a.at(d, j)) * loads[j] /
+                           rep[j];
+    double mx = 0.0, mn = 1e18;
+    for (double v : dev_load) {
+        mx = std::max(mx, v);
+        mn = std::min(mn, v);
+    }
+    const double total = 2700.0 + 400.0 - 400.0; // sum of loads
+    (void)total;
+    // Greedy LPT-style placement keeps max within 1.6x of min here.
+    EXPECT_LT(mx, 1.6 * mn);
+}
+
+TEST(Relocation, SingleReplicaPerExpertStillWorks)
+{
+    const Cluster c = cluster24();
+    // 8 devices x capacity 1 = 8 slots, 8 experts with 1 replica each.
+    const std::vector<int> rep(8, 1);
+    const std::vector<TokenCount> loads{8, 7, 6, 5, 4, 3, 2, 1};
+    const ExpertLayout a = expertRelocation(c, rep, loads, 1);
+    EXPECT_TRUE(a.feasible(1));
+}
+
+TEST(Relocation, AvoidsDuplicateReplicaOnOneDevice)
+{
+    const Cluster c = cluster24();
+    // Expert 0: 4 replicas over 8 devices with capacity 1 — all four
+    // must land on distinct devices.
+    std::vector<int> rep{4, 1, 1, 1, 1};
+    std::vector<TokenCount> loads{900, 10, 10, 10, 10};
+    const ExpertLayout a = expertRelocation(c, rep, loads, 1);
+    for (DeviceId d = 0; d < 8; ++d)
+        EXPECT_LE(a.at(d, 0), 1);
+    EXPECT_EQ(a.replicaCount(0), 4);
+}
+
+TEST(Relocation, RejectsBadBudget)
+{
+    const Cluster c = cluster24();
+    EXPECT_THROW(expertRelocation(c, {1, 1}, {5, 5}, 2), FatalError);
+    EXPECT_THROW(expertRelocation(c, {16, 0}, {5, 5}, 2), FatalError);
+}
+
+TEST(Relocation, HeavyReplicasPlacedFirstOntoEmptyDevices)
+{
+    const Cluster c = cluster24();
+    // One gigantic expert with one replica: it must end up alone-ish —
+    // the device hosting it should carry no other heavy replica.
+    const std::vector<int> rep{1, 3, 3, 3, 2, 2, 1, 1};
+    const std::vector<TokenCount> loads{5000, 300, 300, 300,
+                                        200, 200, 100, 100};
+    const ExpertLayout a = expertRelocation(c, rep, loads, 2);
+    ASSERT_TRUE(a.feasible(2));
+    const DeviceId host = a.replicaDevices(0).front();
+    double other_load = 0.0;
+    for (ExpertId j = 1; j < 8; ++j)
+        other_load += static_cast<double>(a.at(host, j)) * loads[j] /
+                      rep[j];
+    // The companion replica on the host must be one of the lightest.
+    EXPECT_LE(other_load, 110.0);
+}
+
+} // namespace
+} // namespace laer

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for replica allocation (paper Alg. 4) and the even/perturbed
+ * schemes of Alg. 2.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/error.hh"
+#include "planner/replica_alloc.hh"
+
+namespace laer
+{
+namespace
+{
+
+int
+sum(const std::vector<int> &v)
+{
+    return std::accumulate(v.begin(), v.end(), 0);
+}
+
+TEST(ReplicaAllocation, ConsumesExactSlotBudget)
+{
+    const std::vector<TokenCount> loads{100, 50, 25, 25};
+    const auto rep = replicaAllocation(loads, 4, 2);
+    EXPECT_EQ(sum(rep), 8);
+    for (int r : rep)
+        EXPECT_GE(r, 1);
+}
+
+TEST(ReplicaAllocation, ProportionalToLoad)
+{
+    // One dominant expert should soak up most extra replicas.
+    const std::vector<TokenCount> loads{1000, 10, 10, 10};
+    const auto rep = replicaAllocation(loads, 8, 1);
+    EXPECT_GE(rep[0], 4);
+    EXPECT_EQ(rep[1], 1);
+    EXPECT_EQ(sum(rep), 8);
+}
+
+TEST(ReplicaAllocation, GreedyMinimisesMaxAverageLoad)
+{
+    // The priority queue guarantees: after allocation, no single
+    // transfer of a replica can reduce the maximum per-replica load.
+    const std::vector<TokenCount> loads{700, 300, 200, 100};
+    const auto rep = replicaAllocation(loads, 4, 2);
+    double max_avg = 0.0;
+    for (std::size_t j = 0; j < loads.size(); ++j)
+        max_avg = std::max(max_avg,
+                           static_cast<double>(loads[j]) / rep[j]);
+    for (std::size_t j = 0; j < loads.size(); ++j) {
+        if (rep[j] <= 1)
+            continue;
+        // Donate one replica from j to the heaviest expert.
+        for (std::size_t i = 0; i < loads.size(); ++i) {
+            if (i == j)
+                continue;
+            double new_max = 0.0;
+            for (std::size_t k = 0; k < loads.size(); ++k) {
+                const int r = rep[k] + (k == i) - (k == j);
+                new_max = std::max(
+                    new_max, static_cast<double>(loads[k]) / r);
+            }
+            EXPECT_GE(new_max + 1e-9, max_avg)
+                << "moving a replica from " << j << " to " << i
+                << " would improve the greedy optimum";
+        }
+    }
+}
+
+TEST(ReplicaAllocation, EqualLoadsStayEven)
+{
+    const std::vector<TokenCount> loads{10, 10, 10, 10};
+    const auto rep = replicaAllocation(loads, 4, 2);
+    for (int r : rep)
+        EXPECT_EQ(r, 2);
+}
+
+TEST(ReplicaAllocation, ZeroLoadExpertsKeepOneReplica)
+{
+    const std::vector<TokenCount> loads{100, 0, 0, 0};
+    const auto rep = replicaAllocation(loads, 4, 2);
+    // The hot expert absorbs spare slots up to the device-count cap.
+    EXPECT_EQ(rep[0], 4);
+    EXPECT_GE(rep[1], 1);
+    EXPECT_EQ(sum(rep), 8);
+}
+
+TEST(ReplicaAllocation, ReplicasNeverExceedDeviceCount)
+{
+    const std::vector<TokenCount> loads{1000000, 1, 1, 1};
+    const auto rep = replicaAllocation(loads, 3, 3);
+    for (int r : rep)
+        EXPECT_LE(r, 3);
+    EXPECT_EQ(sum(rep), 9);
+}
+
+TEST(ReplicaAllocation, RejectsInsufficientSlots)
+{
+    const std::vector<TokenCount> loads{1, 1, 1, 1, 1};
+    EXPECT_THROW(replicaAllocation(loads, 2, 2), FatalError);
+}
+
+TEST(EvenAllocation, UniformWhenDivisible)
+{
+    const std::vector<TokenCount> loads{5, 9, 1, 3};
+    const auto rep = evenAllocation(loads, 4, 2);
+    for (int r : rep)
+        EXPECT_EQ(r, 2);
+}
+
+TEST(EvenAllocation, RemainderGoesToHeaviest)
+{
+    // 6 slots over 4 experts: experts with the top-2 loads get 2.
+    const std::vector<TokenCount> loads{5, 9, 1, 3};
+    const auto rep = evenAllocation(loads, 6, 1);
+    EXPECT_EQ(sum(rep), 6);
+    EXPECT_EQ(rep[1], 2);
+    EXPECT_EQ(rep[0], 2);
+    EXPECT_EQ(rep[2], 1);
+    EXPECT_EQ(rep[3], 1);
+}
+
+TEST(PerturbAllocation, PreservesBudgetAndFeasibility)
+{
+    Rng rng(3);
+    std::vector<int> rep{3, 2, 1, 2};
+    for (int i = 0; i < 100; ++i) {
+        rep = perturbAllocation(rep, rng, 8);
+        EXPECT_EQ(sum(rep), 8);
+        for (int r : rep) {
+            EXPECT_GE(r, 1);
+            EXPECT_LE(r, 8);
+        }
+    }
+}
+
+TEST(PerturbAllocation, NoDonorMeansNoChange)
+{
+    Rng rng(3);
+    const std::vector<int> rep{1, 1, 1};
+    EXPECT_EQ(perturbAllocation(rep, rng, 4), rep);
+}
+
+TEST(PerturbAllocation, RespectsPerExpertCap)
+{
+    Rng rng(5);
+    // Only expert 0 can donate; experts at the cap cannot take.
+    std::vector<int> rep{2, 4, 4};
+    for (int i = 0; i < 50; ++i) {
+        const auto p = perturbAllocation(rep, rng, 4);
+        EXPECT_EQ(sum(p), 10);
+        for (int r : p)
+            EXPECT_LE(r, 4);
+    }
+}
+
+TEST(PerturbAllocation, EventuallyMovesEveryDirection)
+{
+    Rng rng(11);
+    std::vector<int> base{4, 1, 1};
+    bool expert1_gained = false, expert2_gained = false;
+    for (int i = 0; i < 200; ++i) {
+        const auto p = perturbAllocation(base, rng, 8);
+        expert1_gained |= p[1] > 1;
+        expert2_gained |= p[2] > 1;
+    }
+    EXPECT_TRUE(expert1_gained);
+    EXPECT_TRUE(expert2_gained);
+}
+
+} // namespace
+} // namespace laer

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the iteration graph builder and its timing behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/error.hh"
+#include "model/config.hh"
+#include "planner/lite_routing.hh"
+#include "planner/relocation.hh"
+#include "planner/replica_alloc.hh"
+#include "runtime/iteration.hh"
+#include "topo/cluster.hh"
+
+namespace laer
+{
+namespace
+{
+
+Cluster
+smallCluster()
+{
+    return Cluster(2, 4, 300e9, 12.5e9, 140e12);
+}
+
+/** Balanced plan: device d sends everything to its ring neighbour, so
+ * every device receives the same load but the wire stays busy. */
+RoutingPlan
+balancedPlan(const Cluster &c, int e, TokenCount per_device)
+{
+    RoutingPlan plan(c.numDevices(), e);
+    for (DeviceId d = 0; d < c.numDevices(); ++d)
+        plan.at(d, d % e, (d + 1) % c.numDevices()) = per_device;
+    return plan;
+}
+
+/** Skewed plan: everything lands on device 0. */
+RoutingPlan
+hotDevicePlan(const Cluster &c, int e, TokenCount per_device)
+{
+    RoutingPlan plan(c.numDevices(), e);
+    for (DeviceId d = 0; d < c.numDevices(); ++d)
+        plan.at(d, 0, 0) = per_device;
+    return plan;
+}
+
+IterationSpec
+baseSpec(const ModelConfig &model,
+         const std::vector<const RoutingPlan *> &plans)
+{
+    IterationSpec spec;
+    spec.model = &model;
+    spec.system = SystemKind::Laer;
+    spec.flags = ScheduleFlags::all();
+    spec.seqLen = 4096;
+    spec.tokensPerDevice = 8192;
+    spec.capacityHint = 2;
+    spec.layerPlans = plans;
+    return spec;
+}
+
+TEST(Iteration, SkewedPlanIsSlowerThanBalanced)
+{
+    const Cluster c = smallCluster();
+    const ModelConfig model = mixtral8x7bE8K2();
+    const RoutingPlan balanced = balancedPlan(c, 8, 16384);
+    const RoutingPlan hot = hotDevicePlan(c, 8, 16384);
+    std::vector<const RoutingPlan *> pb{&balanced, &balanced};
+    std::vector<const RoutingPlan *> ph{&hot, &hot};
+    const auto rb = simulateMicroBatch(c, baseSpec(model, pb));
+    const auto rh = simulateMicroBatch(c, baseSpec(model, ph));
+    EXPECT_GT(rh.makespan, 2.0 * rb.makespan);
+}
+
+TEST(Iteration, CommOptimisationsReduceMakespan)
+{
+    const Cluster c = smallCluster();
+    const ModelConfig model = mixtral8x7bE8K2();
+    const RoutingPlan balanced = balancedPlan(c, 8, 16384);
+    std::vector<const RoutingPlan *> plans{&balanced, &balanced,
+                                           &balanced, &balanced};
+    IterationSpec opt = baseSpec(model, plans);
+    IterationSpec no_opt = opt;
+    no_opt.flags = ScheduleFlags::none();
+    const auto with_opt = simulateMicroBatch(c, opt);
+    const auto without = simulateMicroBatch(c, no_opt);
+    EXPECT_LT(with_opt.makespan, without.makespan);
+    // The unoptimised schedule exposes prefetch time.
+    EXPECT_GT(without.exposedPrefetch, with_opt.exposedPrefetch);
+}
+
+TEST(Iteration, DelayedGradSyncHidesReshard)
+{
+    const Cluster c = smallCluster();
+    const ModelConfig model = mixtral8x7bE8K2();
+    const RoutingPlan balanced = balancedPlan(c, 8, 16384);
+    std::vector<const RoutingPlan *> plans{&balanced, &balanced,
+                                           &balanced};
+    IterationSpec delayed = baseSpec(model, plans);
+    IterationSpec eager = delayed;
+    eager.flags.delayedGradSync = false;
+    const auto rd = simulateMicroBatch(c, delayed);
+    const auto re = simulateMicroBatch(c, eager);
+    EXPECT_LE(rd.makespan, re.makespan);
+}
+
+TEST(Iteration, GradSyncOnlyWhenRequested)
+{
+    const Cluster c = smallCluster();
+    const ModelConfig model = mixtral8x7bE8K2();
+    const RoutingPlan balanced = balancedPlan(c, 8, 16384);
+    std::vector<const RoutingPlan *> plans{&balanced};
+    IterationSpec with = baseSpec(model, plans);
+    IterationSpec without = with;
+    without.withGradSync = false;
+    const auto rw = simulateMicroBatch(c, with);
+    const auto ro = simulateMicroBatch(c, without);
+    EXPECT_GE(rw.makespan, ro.makespan);
+    EXPECT_DOUBLE_EQ(ro.exposedGradSync, 0.0);
+}
+
+TEST(Iteration, MegatronHasNoPrefetch)
+{
+    const Cluster c = smallCluster();
+    const ModelConfig model = mixtral8x7bE8K2();
+    const RoutingPlan balanced = balancedPlan(c, 8, 16384);
+    std::vector<const RoutingPlan *> plans{&balanced, &balanced};
+    IterationSpec spec = baseSpec(model, plans);
+    spec.system = SystemKind::Megatron;
+    spec.tpDegree = 4;
+    const auto r = simulateMicroBatch(c, spec);
+    EXPECT_DOUBLE_EQ(r.exposedPrefetch, 0.0);
+    EXPECT_GT(r.makespan, 0.0);
+}
+
+TEST(Iteration, BreakdownComponentsArePositive)
+{
+    const Cluster c = smallCluster();
+    const ModelConfig model = mixtral8x7bE8K2();
+    const RoutingPlan balanced = balancedPlan(c, 8, 16384);
+    std::vector<const RoutingPlan *> plans{&balanced, &balanced};
+    const auto r = simulateMicroBatch(c, baseSpec(model, plans));
+    EXPECT_GT(r.a2aBusy, 0.0);
+    EXPECT_GT(r.expertBusy, 0.0);
+    EXPECT_GT(r.othersBusy, 0.0);
+    // Busy components cannot exceed the makespan per stream class.
+    EXPECT_LE(r.expertBusy + r.othersBusy, r.makespan * 1.0001);
+}
+
+TEST(Iteration, CheckpointingAddsExpertRecompute)
+{
+    const Cluster c = smallCluster();
+    const ModelConfig model = mixtral8x7bE8K2();
+    const RoutingPlan balanced = balancedPlan(c, 8, 16384);
+    std::vector<const RoutingPlan *> plans{&balanced, &balanced};
+    IterationSpec ckpt = baseSpec(model, plans);
+    IterationSpec plain = ckpt;
+    plain.checkpointing = false;
+    const auto rc = simulateMicroBatch(c, ckpt);
+    const auto rp = simulateMicroBatch(c, plain);
+    EXPECT_GT(rc.expertBusy, rp.expertBusy);
+}
+
+TEST(Iteration, RecomputeModesOrderCorrectly)
+{
+    // Sec. 4: expert-only recompute avoids the extra All-to-All of
+    // full recompute; no recompute is the compute floor.
+    const Cluster c = smallCluster();
+    const ModelConfig model = mixtral8x7bE8K2();
+    const RoutingPlan balanced = balancedPlan(c, 8, 16384);
+    std::vector<const RoutingPlan *> plans{&balanced, &balanced};
+    IterationSpec spec = baseSpec(model, plans);
+
+    auto time_of = [&](bool ckpt, RecomputeMode mode) {
+        IterationSpec s = spec;
+        s.checkpointing = ckpt;
+        s.recompute = mode;
+        return simulateMicroBatch(c, s).makespan;
+    };
+    const Seconds none = time_of(false, RecomputeMode::None);
+    const Seconds expert_only =
+        time_of(true, RecomputeMode::ExpertOnly);
+    const Seconds full = time_of(true, RecomputeMode::Full);
+    EXPECT_LT(none, expert_only);
+    EXPECT_LT(expert_only, full);
+}
+
+TEST(Iteration, AttentionRecomputeChargesOthersNotExperts)
+{
+    const Cluster c = smallCluster();
+    const ModelConfig model = mixtral8x7bE8K2();
+    const RoutingPlan balanced = balancedPlan(c, 8, 16384);
+    std::vector<const RoutingPlan *> plans{&balanced, &balanced};
+    IterationSpec expert_spec = baseSpec(model, plans);
+    expert_spec.recompute = RecomputeMode::ExpertOnly;
+    IterationSpec attn_spec = expert_spec;
+    attn_spec.recompute = RecomputeMode::AttentionOnly;
+    const auto re = simulateMicroBatch(c, expert_spec);
+    const auto ra = simulateMicroBatch(c, attn_spec);
+    EXPECT_GT(ra.othersBusy, re.othersBusy);
+    EXPECT_LT(ra.expertBusy, re.expertBusy);
+}
+
+TEST(Iteration, MegatronExpertTpSharesTail)
+{
+    // Expert TP splits the hot device's expert work across its
+    // intra-node block, shrinking the tail.
+    const Cluster c = smallCluster();
+    const ModelConfig model = mixtral8x7bE8K2();
+    const RoutingPlan hot = hotDevicePlan(c, 8, 16384);
+    std::vector<const RoutingPlan *> plans{&hot, &hot};
+    IterationSpec spec = baseSpec(model, plans);
+    spec.system = SystemKind::Megatron;
+    spec.tpDegree = 2;
+    spec.expertTpDegree = 1;
+    const auto no_etp = simulateMicroBatch(c, spec);
+    spec.expertTpDegree = 4;
+    const auto etp = simulateMicroBatch(c, spec);
+    EXPECT_LT(etp.makespan, no_etp.makespan);
+}
+
+TEST(Iteration, OptimizerTimeScalesInverselyWithDevices)
+{
+    const ModelConfig model = mixtral8x7bE8K2();
+    EXPECT_NEAR(optimizerStepTime(model, 8),
+                4.0 * optimizerStepTime(model, 32), 1e-9);
+    EXPECT_GT(optimizerStepTime(model, 32), 0.0);
+}
+
+TEST(Iteration, LmHeadTimeShrinksWithTp)
+{
+    const ModelConfig model = mixtral8x7bE8K2();
+    EXPECT_NEAR(lmHeadForwardTime(model, 1024, 4, 1e12) * 4.0,
+                lmHeadForwardTime(model, 1024, 1, 1e12), 1e-12);
+}
+
+TEST(Iteration, SpecValidation)
+{
+    const Cluster c = smallCluster();
+    IterationSpec spec;
+    EXPECT_THROW(simulateMicroBatch(c, spec), FatalError);
+}
+
+} // namespace
+} // namespace laer

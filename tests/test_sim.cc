@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the discrete-event engine: stream FIFO semantics,
+ * dependencies, breakdown accounting and exposed-time measurement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/error.hh"
+#include "sim/engine.hh"
+
+namespace laer
+{
+namespace
+{
+
+TEST(SimEngine, SerialTasksOnOneStream)
+{
+    SimEngine eng(1);
+    const TaskId a = eng.addTask("a", 0, StreamKind::Compute, 1.0);
+    const TaskId b = eng.addTask("b", 0, StreamKind::Compute, 2.0);
+    eng.run();
+    EXPECT_DOUBLE_EQ(eng.task(a).start, 0.0);
+    EXPECT_DOUBLE_EQ(eng.task(a).finish, 1.0);
+    EXPECT_DOUBLE_EQ(eng.task(b).start, 1.0);
+    EXPECT_DOUBLE_EQ(eng.makespan(), 3.0);
+}
+
+TEST(SimEngine, IndependentStreamsOverlap)
+{
+    SimEngine eng(1);
+    eng.addTask("compute", 0, StreamKind::Compute, 2.0);
+    eng.addTask("comm", 0, StreamKind::Prefetch, 2.0);
+    eng.run();
+    EXPECT_DOUBLE_EQ(eng.makespan(), 2.0);
+}
+
+TEST(SimEngine, DependencyDelaysStart)
+{
+    SimEngine eng(2);
+    const TaskId a = eng.addTask("a", 0, StreamKind::Compute, 3.0);
+    const TaskId b =
+        eng.addTask("b", 1, StreamKind::Compute, 1.0, {a});
+    eng.run();
+    EXPECT_DOUBLE_EQ(eng.task(b).start, 3.0);
+    EXPECT_DOUBLE_EQ(eng.makespan(), 4.0);
+}
+
+TEST(SimEngine, BarrierAcrossDevices)
+{
+    // Two devices with unequal work feed a shared collective: the
+    // collective starts only when the slower device is done.
+    SimEngine eng(2);
+    const TaskId fast = eng.addTask("f", 0, StreamKind::Compute, 1.0);
+    const TaskId slow = eng.addTask("s", 1, StreamKind::Compute, 5.0);
+    const TaskId c0 = eng.addTask("a2a0", 0, StreamKind::Dispatch, 1.0,
+                                  {fast, slow});
+    const TaskId c1 = eng.addTask("a2a1", 1, StreamKind::Dispatch, 1.0,
+                                  {fast, slow});
+    eng.run();
+    EXPECT_DOUBLE_EQ(eng.task(c0).start, 5.0);
+    EXPECT_DOUBLE_EQ(eng.task(c1).start, 5.0);
+    EXPECT_DOUBLE_EQ(eng.makespan(), 6.0);
+}
+
+TEST(SimEngine, FifoOrderWithinStreamEvenWhenDepsAllow)
+{
+    // Task c has no deps but is launched after b on the same stream;
+    // FIFO means it cannot jump the queue.
+    SimEngine eng(1);
+    const TaskId a = eng.addTask("a", 0, StreamKind::Prefetch, 4.0);
+    const TaskId b =
+        eng.addTask("b", 0, StreamKind::Compute, 1.0, {a});
+    const TaskId c = eng.addTask("c", 0, StreamKind::Compute, 1.0);
+    eng.run();
+    EXPECT_DOUBLE_EQ(eng.task(b).start, 4.0);
+    EXPECT_DOUBLE_EQ(eng.task(c).start, 5.0);
+}
+
+TEST(SimEngine, RejectsForwardDependencies)
+{
+    SimEngine eng(1);
+    EXPECT_THROW(eng.addTask("x", 0, StreamKind::Compute, 1.0, {5}),
+                 FatalError);
+    EXPECT_THROW(eng.addTask("x", 3, StreamKind::Compute, 1.0),
+                 FatalError);
+}
+
+TEST(SimEngine, CategoryBusyAveragesOverDevices)
+{
+    SimEngine eng(2);
+    eng.addTask("e0", 0, StreamKind::Compute, 2.0, {}, "expert");
+    eng.addTask("e1", 1, StreamKind::Compute, 4.0, {}, "expert");
+    eng.addTask("a", 0, StreamKind::Dispatch, 1.0, {}, "a2a");
+    eng.run();
+    const auto busy = eng.categoryBusyPerDevice();
+    EXPECT_DOUBLE_EQ(busy.at("expert"), 3.0);
+    EXPECT_DOUBLE_EQ(busy.at("a2a"), 0.5);
+}
+
+TEST(SimEngine, StreamBusyPerDevice)
+{
+    SimEngine eng(2);
+    eng.addTask("a", 0, StreamKind::Compute, 2.0);
+    eng.addTask("b", 0, StreamKind::Compute, 3.0);
+    eng.addTask("c", 1, StreamKind::Compute, 7.0);
+    eng.run();
+    EXPECT_DOUBLE_EQ(eng.streamBusy(0, StreamKind::Compute), 5.0);
+    EXPECT_DOUBLE_EQ(eng.streamBusy(1, StreamKind::Compute), 7.0);
+    EXPECT_DOUBLE_EQ(eng.streamBusy(0, StreamKind::Dispatch), 0.0);
+}
+
+TEST(SimEngine, ExposedTimeZeroWhenFullyOverlapped)
+{
+    // Prefetch runs entirely under a longer compute task.
+    SimEngine eng(1);
+    eng.addTask("c", 0, StreamKind::Compute, 5.0, {}, "expert");
+    eng.addTask("p", 0, StreamKind::Prefetch, 3.0, {}, "prefetch");
+    eng.run();
+    EXPECT_NEAR(eng.exposedTime("prefetch"), 0.0, 1e-12);
+}
+
+TEST(SimEngine, ExposedTimeCountsUncoveredTail)
+{
+    // Prefetch (4s) under compute (1s): 3 s exposed.
+    SimEngine eng(1);
+    eng.addTask("c", 0, StreamKind::Compute, 1.0, {}, "expert");
+    eng.addTask("p", 0, StreamKind::Prefetch, 4.0, {}, "prefetch");
+    eng.run();
+    EXPECT_NEAR(eng.exposedTime("prefetch"), 3.0, 1e-12);
+}
+
+TEST(SimEngine, ExposedTimeMissingCategoryIsZero)
+{
+    SimEngine eng(1);
+    eng.addTask("c", 0, StreamKind::Compute, 1.0, {}, "expert");
+    eng.run();
+    EXPECT_DOUBLE_EQ(eng.exposedTime("prefetch"), 0.0);
+}
+
+TEST(SimEngine, StreamKindNames)
+{
+    EXPECT_STREQ(streamKindName(StreamKind::Compute), "compute");
+    EXPECT_STREQ(streamKindName(StreamKind::Prefetch), "prefetch");
+    EXPECT_STREQ(streamKindName(StreamKind::Dispatch), "dispatch");
+    EXPECT_STREQ(streamKindName(StreamKind::GradSync), "gradsync");
+}
+
+TEST(SimEngine, ZeroDurationTasksAreInstant)
+{
+    SimEngine eng(1);
+    const TaskId a = eng.addTask("a", 0, StreamKind::Compute, 0.0);
+    const TaskId b =
+        eng.addTask("b", 0, StreamKind::Compute, 1.0, {a});
+    eng.run();
+    EXPECT_DOUBLE_EQ(eng.task(b).start, 0.0);
+    EXPECT_EQ(eng.taskCount(), 2);
+}
+
+} // namespace
+} // namespace laer
