@@ -17,8 +17,8 @@ EpGrouping::EpGrouping(const Cluster &cluster, int ep_degree,
     if (spanNodes_) {
         // Stride mapping needs the group count to tile nodes evenly.
         LAER_CHECK(numGroups_ >= 1 &&
-                   devicesPerNode_ % numGroups_ == 0 ||
-                   numGroups_ % devicesPerNode_ == 0,
+                   (devicesPerNode_ % numGroups_ == 0 ||
+                    numGroups_ % devicesPerNode_ == 0),
                    "group count incompatible with node width");
     }
 }

@@ -1,9 +1,9 @@
 #include "core/rng.hh"
 
 #include <cmath>
-#include <numbers>
 
 #include "core/error.hh"
+#include "core/types.hh"
 
 namespace laer
 {
@@ -79,7 +79,7 @@ Rng::gaussian()
         u1 = uniform();
     const double u2 = uniform();
     return std::sqrt(-2.0 * std::log(u1)) *
-           std::cos(2.0 * std::numbers::pi * u2);
+           std::cos(2.0 * kPi * u2);
 }
 
 double

@@ -40,6 +40,10 @@ using Seconds = double;
 /** Floating point work amounts (FLOPs etc.). */
 using Flops = double;
 
+/** Pi, shared by every module that needs it (C++17 has no
+ * std::numbers). */
+inline constexpr double kPi = 3.141592653589793238462643383279502884;
+
 } // namespace laer
 
 #endif // LAER_CORE_TYPES_HH

@@ -88,7 +88,11 @@ class ExpertLayout
     bool feasible(int capacity) const;
 
     /** Equality (same placement). */
-    bool operator==(const ExpertLayout &other) const = default;
+    bool operator==(const ExpertLayout &other) const
+    {
+        return numDevices_ == other.numDevices_ &&
+               numExperts_ == other.numExperts_ && data_ == other.data_;
+    }
 
   private:
     int numDevices_ = 0;

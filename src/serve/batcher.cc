@@ -1,0 +1,204 @@
+#include "serve/batcher.hh"
+
+#include <algorithm>
+
+#include "core/error.hh"
+
+namespace laer
+{
+
+TokenCount
+BatchPlan::totalTokens() const
+{
+    TokenCount total = 0;
+    for (const BatchEntry &e : entries)
+        total += e.prefillTokens + e.decodeTokens;
+    return total;
+}
+
+TokenCount
+BatchPlan::prefillTokens() const
+{
+    TokenCount total = 0;
+    for (const BatchEntry &e : entries)
+        total += e.prefillTokens;
+    return total;
+}
+
+TokenCount
+BatchPlan::decodeTokens() const
+{
+    TokenCount total = 0;
+    for (const BatchEntry &e : entries)
+        total += e.decodeTokens;
+    return total;
+}
+
+ContinuousBatcher::ContinuousBatcher(const BatcherConfig &config)
+    : config_(config), waiting_(config.numSloClasses)
+{
+    LAER_CHECK(config_.tokenBudget >= 1, "token budget must be positive");
+    LAER_CHECK(config_.maxRunning >= 1, "need at least one KV slot");
+    LAER_CHECK(config_.prefillChunk >= 1,
+               "prefill chunk must be positive");
+    LAER_CHECK(config_.numSloClasses >= 1, "need at least one SLO class");
+    LAER_CHECK(config_.numDevices >= 1, "need at least one device");
+    LAER_CHECK(config_.deviceTokenCap >= 0,
+               "device token cap cannot be negative");
+}
+
+TokenCount
+ContinuousBatcher::effectiveBudget() const
+{
+    if (config_.deviceTokenCap == 0)
+        return config_.tokenBudget;
+    return std::min(config_.tokenBudget,
+                    config_.deviceTokenCap * config_.numDevices);
+}
+
+void
+ContinuousBatcher::enqueue(const Request &request)
+{
+    LAER_CHECK(request.sloClass >= 0 &&
+                   request.sloClass < config_.numSloClasses,
+               "request SLO class out of range");
+    LAER_CHECK(request.prefillTokens >= 1 && request.decodeTokens >= 1,
+               "request needs at least one prefill and decode token");
+    waiting_[request.sloClass].push_back(request);
+}
+
+BatchPlan
+ContinuousBatcher::nextBatch()
+{
+    BatchPlan plan;
+    TokenCount budget = effectiveBudget();
+
+    // Decode first: one token per running sequence past prefill, in
+    // admission order, so generation latency never queues behind
+    // prompt processing.
+    for (const Request &r : running_) {
+        if (budget < 1)
+            break;
+        if (r.phase() != RequestPhase::Decode)
+            continue;
+        BatchEntry e;
+        e.requestId = r.id;
+        e.decodeTokens = 1;
+        plan.entries.push_back(e);
+        budget -= 1;
+    }
+
+    // Continue chunked prefills of already-running requests.
+    for (const Request &r : running_) {
+        if (budget < 1)
+            break;
+        const TokenCount remaining = r.prefillTokens - r.prefillDone;
+        if (remaining <= 0)
+            continue;
+        BatchEntry e;
+        e.requestId = r.id;
+        e.prefillTokens =
+            std::min({remaining, config_.prefillChunk, budget});
+        plan.entries.push_back(e);
+        budget -= e.prefillTokens;
+    }
+
+    // Admit waiting requests: class order, FIFO within a class.
+    for (auto &queue : waiting_) {
+        while (!queue.empty() && budget >= 1 &&
+               runningCount() < config_.maxRunning) {
+            Request r = queue.front();
+            queue.pop_front();
+            BatchEntry e;
+            e.requestId = r.id;
+            e.prefillTokens =
+                std::min({r.prefillTokens, config_.prefillChunk, budget});
+            plan.entries.push_back(e);
+            budget -= e.prefillTokens;
+            running_.push_back(r);
+        }
+    }
+    return plan;
+}
+
+void
+ContinuousBatcher::applyStep(const BatchPlan &plan, Seconds finish_time)
+{
+    for (const BatchEntry &e : plan.entries) {
+        auto it = std::find_if(running_.begin(), running_.end(),
+                               [&](const Request &r) {
+                                   return r.id == e.requestId;
+                               });
+        LAER_CHECK(it != running_.end(),
+                   "batch entry references unknown request "
+                       << e.requestId);
+        Request &r = *it;
+        if (e.prefillTokens > 0) {
+            LAER_ASSERT(e.decodeTokens == 0,
+                        "a step schedules prefill or decode, not both");
+            r.prefillDone += e.prefillTokens;
+            LAER_ASSERT(r.prefillDone <= r.prefillTokens,
+                        "prefill overran the prompt");
+            if (r.prefillDone == r.prefillTokens) {
+                // The step completing the prefill emits the first
+                // output token.
+                r.firstTokenTime = finish_time;
+                r.decodeDone = 1;
+            }
+        } else if (e.decodeTokens > 0) {
+            LAER_ASSERT(r.phase() == RequestPhase::Decode,
+                        "decode scheduled for a non-decoding request");
+            r.decodeDone += e.decodeTokens;
+        }
+        if (r.decodeDone >= r.decodeTokens)
+            r.finishTime = finish_time;
+    }
+
+    // Retire finished requests while preserving admission order.
+    for (auto it = running_.begin(); it != running_.end();) {
+        if (it->phase() == RequestPhase::Finished) {
+            finished_.push_back(*it);
+            it = running_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+std::vector<Request>
+ContinuousBatcher::takeFinished()
+{
+    std::vector<Request> out;
+    out.swap(finished_);
+    return out;
+}
+
+const Request *
+ContinuousBatcher::find(int id) const
+{
+    for (const Request &r : running_)
+        if (r.id == id)
+            return &r;
+    for (const auto &queue : waiting_)
+        for (const Request &r : queue)
+            if (r.id == id)
+                return &r;
+    return nullptr;
+}
+
+bool
+ContinuousBatcher::hasWork() const
+{
+    return !running_.empty() || waitingCount() > 0;
+}
+
+int
+ContinuousBatcher::waitingCount() const
+{
+    int n = 0;
+    for (const auto &queue : waiting_)
+        n += static_cast<int>(queue.size());
+    return n;
+}
+
+} // namespace laer

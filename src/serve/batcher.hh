@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Continuous batcher — the serving engine's scheduler.
+ *
+ * Implements iteration-level (continuous) batching with a token
+ * budget, the scheduling discipline of vLLM/Orca-class engines: every
+ * engine step assembles a mixed batch of decode tokens (one per
+ * running sequence) and chunked prefill work, bounded by
+ * `tokenBudget` scheduled tokens. Decode work is scheduled first so
+ * running sequences never starve behind long prompts; remaining
+ * budget continues partially-prefilled requests and then admits new
+ * ones. Admission is strict FIFO within an SLO class, with lower
+ * class ids admitted first.
+ *
+ * The batch is data-parallel sharded across devices, so the per-step
+ * token budget doubles as the per-device expert capacity knob: with N
+ * devices and top-k routing, a step schedules at most
+ * tokenBudget * K / N expected expert tokens per device. An optional
+ * `deviceTokenCap` tightens the budget on small clusters.
+ */
+
+#ifndef LAER_SERVE_BATCHER_HH
+#define LAER_SERVE_BATCHER_HH
+
+#include <deque>
+#include <vector>
+
+#include "serve/request.hh"
+
+namespace laer
+{
+
+/** Scheduler knobs. */
+struct BatcherConfig
+{
+    TokenCount tokenBudget = 8192; //!< scheduled tokens per step
+    int maxRunning = 128;          //!< concurrent sequences (KV slots)
+    TokenCount prefillChunk = 512; //!< max prefill tokens per request
+                                   //!< per step (Sarathi chunking)
+    int numSloClasses = 1;         //!< admission priority classes
+    /** Per-device slice cap; 0 disables. With N simulated devices the
+     * effective step budget is min(tokenBudget, N * deviceTokenCap). */
+    TokenCount deviceTokenCap = 0;
+    int numDevices = 1;            //!< N, for the per-device cap
+};
+
+/** Work scheduled for one request in one engine step. */
+struct BatchEntry
+{
+    int requestId = 0;
+    TokenCount prefillTokens = 0; //!< prompt tokens processed this step
+    TokenCount decodeTokens = 0;  //!< output tokens produced (0 or 1)
+};
+
+/** The work of one engine step. */
+struct BatchPlan
+{
+    std::vector<BatchEntry> entries;
+
+    bool empty() const { return entries.empty(); }
+
+    /** Scheduled tokens (prefill + decode) in this step. */
+    TokenCount totalTokens() const;
+
+    /** Prefill tokens scheduled. */
+    TokenCount prefillTokens() const;
+
+    /** Decode tokens scheduled. */
+    TokenCount decodeTokens() const;
+};
+
+/**
+ * The batcher owns every request from admission to completion:
+ * enqueue() accepts arrivals, nextBatch() plans a step, applyStep()
+ * commits the step's progress at its simulated finish time, and
+ * takeFinished() drains completed requests for metrics accounting.
+ */
+class ContinuousBatcher
+{
+  public:
+    explicit ContinuousBatcher(const BatcherConfig &config);
+
+    /** Admit a request into its class's waiting queue. */
+    void enqueue(const Request &request);
+
+    /** Plan the next engine step (empty plan when nothing to do). */
+    BatchPlan nextBatch();
+
+    /**
+     * Commit a planned step that finished at `finish_time`: advance
+     * prefill/decode progress, stamp first-token and finish times, and
+     * retire completed requests.
+     */
+    void applyStep(const BatchPlan &plan, Seconds finish_time);
+
+    /** Drain requests completed since the last call. */
+    std::vector<Request> takeFinished();
+
+    /** Look a live (waiting or running) request up by id. */
+    const Request *find(int id) const;
+
+    /** True while any request is waiting or running. */
+    bool hasWork() const;
+
+    /** Requests waiting for admission across all classes. */
+    int waitingCount() const;
+
+    /** Requests currently running (prefill or decode). */
+    int runningCount() const
+    {
+        return static_cast<int>(running_.size());
+    }
+
+    /** Effective per-step token budget after the per-device cap. */
+    TokenCount effectiveBudget() const;
+
+    const BatcherConfig &config() const { return config_; }
+
+  private:
+    BatcherConfig config_;
+    std::vector<std::deque<Request>> waiting_; //!< FIFO per SLO class
+    std::deque<Request> running_;              //!< admission order
+    std::vector<Request> finished_;
+};
+
+} // namespace laer
+
+#endif // LAER_SERVE_BATCHER_HH

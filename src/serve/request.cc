@@ -1,0 +1,99 @@
+#include "serve/request.hh"
+
+#include "core/error.hh"
+#include "core/stats.hh"
+
+namespace laer
+{
+
+const char *
+requestPhaseName(RequestPhase phase)
+{
+    switch (phase) {
+      case RequestPhase::Queued:
+        return "queued";
+      case RequestPhase::Prefill:
+        return "prefill";
+      case RequestPhase::Decode:
+        return "decode";
+      case RequestPhase::Finished:
+        return "finished";
+    }
+    return "?";
+}
+
+RequestPhase
+Request::phase() const
+{
+    if (decodeDone >= decodeTokens)
+        return RequestPhase::Finished;
+    if (prefillDone >= prefillTokens)
+        return RequestPhase::Decode;
+    if (prefillDone > 0)
+        return RequestPhase::Prefill;
+    return RequestPhase::Queued;
+}
+
+Seconds
+Request::ttft() const
+{
+    return firstTokenTime < 0.0 ? -1.0 : firstTokenTime - arrival;
+}
+
+Seconds
+Request::tpot() const
+{
+    if (decodeTokens < 2 || finishTime < 0.0 || firstTokenTime < 0.0)
+        return 0.0;
+    return (finishTime - firstTokenTime) /
+           static_cast<double>(decodeTokens - 1);
+}
+
+ServingMetrics::ServingMetrics(Seconds slo_ttft) : sloTtft_(slo_ttft)
+{
+    LAER_CHECK(slo_ttft > 0.0, "TTFT SLO must be positive");
+}
+
+void
+ServingMetrics::record(const Request &request)
+{
+    LAER_CHECK(request.phase() == RequestPhase::Finished,
+               "only finished requests carry complete latencies");
+    ++completed_;
+    decodedTokens_ += request.decodeTokens;
+    ttfts_.push_back(request.ttft());
+    if (request.decodeTokens >= 2)
+        tpots_.push_back(request.tpot());
+    if (request.ttft() <= sloTtft_) {
+        ++sloMet_;
+        goodTokens_ += request.decodeTokens;
+    }
+}
+
+Seconds
+ServingMetrics::ttftPercentile(double p) const
+{
+    return percentile(ttfts_, p);
+}
+
+Seconds
+ServingMetrics::tpotPercentile(double p) const
+{
+    return percentile(tpots_, p);
+}
+
+double
+ServingMetrics::throughput(Seconds elapsed) const
+{
+    return elapsed > 0.0 ? static_cast<double>(decodedTokens_) / elapsed
+                         : 0.0;
+}
+
+double
+ServingMetrics::goodput(Seconds elapsed) const
+{
+    return elapsed > 0.0 ? static_cast<double>(goodTokens_) / elapsed
+                         : 0.0;
+}
+
+} // namespace laer

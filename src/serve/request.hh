@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Inference request model for the serving simulator.
+ *
+ * A request arrives with a prompt of `prefillTokens` tokens and asks
+ * for `decodeTokens` generated tokens. Prefill may be chunked across
+ * several engine steps (Sarathi-style); the first output token is
+ * produced by the step that completes the prefill, and every later
+ * decode step emits exactly one token. The two serving latency
+ * metrics derive directly from that life cycle:
+ *
+ *   TTFT = time of the first output token - arrival time
+ *   TPOT = (finish - first token) / (decodeTokens - 1)
+ *
+ * ServingMetrics folds completed requests into TTFT/TPOT percentile
+ * samples and the SLO-conditioned goodput the benches report.
+ */
+
+#ifndef LAER_SERVE_REQUEST_HH
+#define LAER_SERVE_REQUEST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hh"
+
+namespace laer
+{
+
+/** Life-cycle stage of a request inside the serving engine. */
+enum class RequestPhase
+{
+    Queued,   //!< admitted to the waiting queue, no work scheduled yet
+    Prefill,  //!< running, prompt not fully processed
+    Decode,   //!< running, emitting one token per scheduled step
+    Finished, //!< all decode tokens produced
+};
+
+/** Printable phase name. */
+const char *requestPhaseName(RequestPhase phase);
+
+/** One inference request and its progress through the engine. */
+struct Request
+{
+    int id = 0;
+    int sloClass = 0;            //!< priority class; 0 schedules first
+    Seconds arrival = 0.0;
+    TokenCount prefillTokens = 1; //!< prompt length
+    TokenCount decodeTokens = 1;  //!< output tokens requested
+
+    TokenCount prefillDone = 0;   //!< prompt tokens already processed
+    TokenCount decodeDone = 0;    //!< output tokens already produced
+    Seconds firstTokenTime = -1.0; //!< absolute time; < 0 until known
+    Seconds finishTime = -1.0;     //!< absolute time; < 0 until done
+
+    /** Current life-cycle stage, derived from progress counters. */
+    RequestPhase phase() const;
+
+    /** Context length the next decode token attends over. */
+    TokenCount contextLength() const { return prefillTokens + decodeDone; }
+
+    /** Time to first token; negative until the first token exists. */
+    Seconds ttft() const;
+
+    /** Mean time per output token after the first; 0 for 1-token
+     * outputs (TPOT is undefined without a second token). */
+    Seconds tpot() const;
+};
+
+/**
+ * Accumulates completed requests and reports the latency/goodput
+ * summary of a serving run. Goodput follows the SLO-attainment
+ * convention: only requests whose TTFT met the target contribute
+ * their decode tokens.
+ */
+class ServingMetrics
+{
+  public:
+    /** @param slo_ttft  TTFT target used for goodput attribution. */
+    explicit ServingMetrics(Seconds slo_ttft);
+
+    /** Fold one finished request into the summary. */
+    void record(const Request &request);
+
+    /** Number of requests recorded. */
+    std::int64_t completed() const { return completed_; }
+
+    /** Requests whose TTFT met the SLO. */
+    std::int64_t sloMet() const { return sloMet_; }
+
+    /** Decode tokens produced by all recorded requests. */
+    TokenCount decodedTokens() const { return decodedTokens_; }
+
+    /** Decode tokens of SLO-meeting requests only. */
+    TokenCount goodTokens() const { return goodTokens_; }
+
+    /** TTFT percentile, p in [0, 100]; 0 when empty. */
+    Seconds ttftPercentile(double p) const;
+
+    /** TPOT percentile over multi-token requests; 0 when empty. */
+    Seconds tpotPercentile(double p) const;
+
+    /** Decode tokens per second over `elapsed` seconds. */
+    double throughput(Seconds elapsed) const;
+
+    /** SLO-attained decode tokens per second over `elapsed`. */
+    double goodput(Seconds elapsed) const;
+
+    /** TTFT target this collector scores against. */
+    Seconds sloTtft() const { return sloTtft_; }
+
+  private:
+    Seconds sloTtft_;
+    std::int64_t completed_ = 0;
+    std::int64_t sloMet_ = 0;
+    TokenCount decodedTokens_ = 0;
+    TokenCount goodTokens_ = 0;
+    std::vector<double> ttfts_;
+    std::vector<double> tpots_;
+};
+
+} // namespace laer
+
+#endif // LAER_SERVE_REQUEST_HH

@@ -1,0 +1,406 @@
+#include "serve/serving_sim.hh"
+
+#include <algorithm>
+
+#include "comm/collectives.hh"
+#include "core/error.hh"
+#include "core/stats.hh"
+#include "planner/lite_routing.hh"
+#include "planner/relocation.hh"
+#include "planner/replica_alloc.hh"
+#include "runtime/iteration.hh"
+#include "sim/engine.hh"
+
+namespace laer
+{
+
+const char *
+servingPolicyName(ServingPolicy policy)
+{
+    switch (policy) {
+      case ServingPolicy::LaerServe:
+        return "LAER";
+      case ServingPolicy::StaticEp:
+        return "StaticEP";
+      case ServingPolicy::FlexMoe:
+        return "FlexMoE";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Validate and fill the derived fields of the configuration. */
+ServingConfig
+normalizeConfig(const Cluster &cluster, ServingConfig config)
+{
+    config.model.validate();
+    const int n = cluster.numDevices();
+    const int experts = config.model.numExperts;
+    LAER_CHECK(config.capacity >= 1, "capacity must be positive");
+    LAER_CHECK(n * config.capacity >= experts,
+               "cluster too small to host every expert");
+    LAER_CHECK(config.simulatedLayers >= 1 &&
+                   config.simulatedLayers <= config.model.layers,
+               "simulated layer count out of range");
+    LAER_CHECK(config.horizon > 0.0, "horizon must be positive");
+    LAER_CHECK(config.retunePeriod >= 1,
+               "retune period must be positive");
+
+    config.batcher.numDevices = n;
+    config.batcher.numSloClasses = config.arrival.numSloClasses;
+
+    config.routing.numDevices = n;
+    config.routing.numExperts = experts;
+    config.routing.topK = config.model.topK;
+    config.routing.tokensPerDevice =
+        std::max<TokenCount>(1, config.batcher.tokenBudget / n);
+
+    config.tuner.capacity = config.capacity;
+    if (config.tuner.cost.commBytesPerToken == 0)
+        config.tuner.cost.commBytesPerToken = config.model.tokenBytes();
+    if (config.tuner.cost.compFlopsPerToken == 0)
+        config.tuner.cost.compFlopsPerToken =
+            config.model.expertFlopsPerToken();
+    return config;
+}
+
+/** EP group structure (only meaningful for the StaticEp policy). */
+EpGrouping
+makeGrouping(const Cluster &cluster, const ServingConfig &config)
+{
+    if (config.policy != ServingPolicy::StaticEp)
+        return EpGrouping(cluster, 1, false);
+    const int experts = config.model.numExperts;
+    LAER_CHECK(experts % config.capacity == 0,
+               "StaticEP needs capacity to divide the expert count");
+    const int ep_degree = experts / config.capacity;
+    LAER_CHECK(cluster.numDevices() % ep_degree == 0,
+               "StaticEP needs the EP degree to divide the cluster");
+    return EpGrouping(cluster, ep_degree, true);
+}
+
+/** Load-oblivious even starting layout for the dynamic policies. */
+ExpertLayout
+evenStartLayout(const Cluster &cluster, int n_experts, int capacity)
+{
+    const std::vector<TokenCount> flat(n_experts, 1);
+    return expertRelocation(
+        cluster, evenAllocation(flat, cluster.numDevices(), capacity),
+        flat, capacity);
+}
+
+/** Transpose a volume matrix (combine reverses dispatch). */
+VolumeMatrix
+transposeVolume(const VolumeMatrix &volume)
+{
+    const std::size_t n = volume.size();
+    VolumeMatrix out(n, std::vector<Bytes>(n, 0));
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t k = 0; k < n; ++k)
+            out[k][i] = volume[i][k];
+    return out;
+}
+
+} // namespace
+
+ServingSimulator::ServingSimulator(const Cluster &cluster,
+                                   const ServingConfig &config)
+    : cluster_(cluster), config_(normalizeConfig(cluster, config)),
+      batcher_(config_.batcher), arrivals_(config_.arrival),
+      metrics_(config_.sloTtft), grouping_(makeGrouping(cluster, config_))
+{
+    const int experts = config_.model.numExperts;
+    for (int l = 0; l < config_.simulatedLayers; ++l) {
+        RoutingModel m = config_.routing;
+        m.seed = config_.seed + 7919ULL * static_cast<std::uint64_t>(l);
+        generators_.emplace_back(m);
+        aggRouting_.emplace_back(cluster.numDevices(), experts);
+    }
+
+    switch (config_.policy) {
+      case ServingPolicy::StaticEp:
+        layouts_.assign(config_.simulatedLayers,
+                        staticEpLayout(cluster, experts, grouping_));
+        break;
+      case ServingPolicy::LaerServe:
+        layouts_.assign(config_.simulatedLayers,
+                        evenStartLayout(cluster, experts,
+                                        config_.capacity));
+        break;
+      case ServingPolicy::FlexMoe: {
+        FlexMoeConfig fc;
+        fc.capacity = config_.capacity;
+        fc.maxMovesPerStep = config_.flexMaxMoves;
+        fc.expertBytes = config_.model.expertParamBytes();
+        fc.cost = config_.tuner.cost;
+        for (int l = 0; l < config_.simulatedLayers; ++l) {
+            flexPlanners_.push_back(std::make_unique<FlexMoePlanner>(
+                cluster, experts, fc));
+            layouts_.push_back(flexPlanners_.back()->layout());
+        }
+        break;
+      }
+    }
+}
+
+ServingSimulator::~ServingSimulator() = default;
+
+void
+ServingSimulator::pumpArrivals()
+{
+    while (!offeringClosed_) {
+        if (!lookaheadValid_) {
+            lookahead_ = arrivals_.next();
+            lookaheadValid_ = true;
+        }
+        if (lookahead_.arrival >= config_.horizon) {
+            // The stream stops offering at the horizon; the run then
+            // drains whatever is in flight.
+            offeringClosed_ = true;
+            lookaheadValid_ = false;
+            break;
+        }
+        if (lookahead_.arrival > now_)
+            break;
+        batcher_.enqueue(lookahead_);
+        ++offered_;
+        lookaheadValid_ = false;
+    }
+}
+
+Seconds
+ServingSimulator::updateLayouts(const std::vector<RoutingMatrix> &routing,
+                                ServingStepResult &result)
+{
+    switch (config_.policy) {
+      case ServingPolicy::StaticEp:
+        return 0.0;
+
+      case ServingPolicy::LaerServe: {
+        // Asynchronous re-tune from the PREVIOUS window's aggregated
+        // routing (paper Fig. 7): the CPU solver works off observed
+        // traffic while steps keep executing, and FSEP restores the
+        // new replicas from parameter shards without a stall.
+        if (stepIndex_ > 0 && stepIndex_ % config_.retunePeriod == 0) {
+            for (int l = 0; l < config_.simulatedLayers; ++l) {
+                const LayoutDecision decision = tuneExpertLayout(
+                    cluster_, aggRouting_[l], config_.tuner);
+                layouts_[l] = decision.layout;
+                aggRouting_[l] = RoutingMatrix(
+                    cluster_.numDevices(), config_.model.numExperts);
+            }
+            result.retuned = true;
+            ++retunes_;
+        }
+        for (int l = 0; l < config_.simulatedLayers; ++l)
+            for (DeviceId i = 0; i < cluster_.numDevices(); ++i)
+                for (ExpertId j = 0; j < config_.model.numExperts; ++j)
+                    aggRouting_[l].at(i, j) += routing[l].at(i, j);
+        return 0.0;
+      }
+
+      case ServingPolicy::FlexMoe: {
+        // Incremental adjustment; the migration time lands on the
+        // serving critical path (no FSEP to hide behind).
+        Seconds migration = 0.0;
+        for (int l = 0; l < config_.simulatedLayers; ++l) {
+            migration += flexPlanners_[l]->update(routing[l])
+                             .migrationTime;
+            layouts_[l] = flexPlanners_[l]->layout();
+        }
+        return migration;
+      }
+    }
+    return 0.0;
+}
+
+ServingStepResult
+ServingSimulator::executeStep(const BatchPlan &plan)
+{
+    const int n = cluster_.numDevices();
+    const int layers = config_.simulatedLayers;
+    const ModelConfig &model = config_.model;
+
+    ServingStepResult res;
+    res.start = now_;
+    res.tokens = plan.totalTokens();
+    res.prefill = plan.prefillTokens();
+    res.decode = plan.decodeTokens();
+
+    // Data-parallel batch shard: spread tokens over devices, rotating
+    // the remainder so no device systematically runs long.
+    std::vector<TokenCount> share(n, res.tokens / n);
+    for (TokenCount i = 0; i < res.tokens % n; ++i)
+        share[(stepIndex_ + static_cast<int>(i)) % n] += 1;
+
+    // Per-layer gating under the drifting popularity model.
+    std::vector<RoutingMatrix> routing;
+    routing.reserve(layers);
+    for (auto &gen : generators_)
+        routing.push_back(gen.nextForTokens(share));
+
+    res.migration = updateLayouts(routing, res);
+
+    std::vector<RoutingPlan> plans;
+    plans.reserve(layers);
+    for (int l = 0; l < layers; ++l) {
+        plans.push_back(config_.policy == ServingPolicy::StaticEp
+                            ? staticEpRouting(routing[l], grouping_,
+                                              layouts_[l])
+                            : liteRouting(cluster_, routing[l],
+                                          layouts_[l]));
+    }
+
+    // Attention + gate work of the step, sharded evenly (the batch is
+    // data parallel; only expert work is layout dependent). Prefill
+    // tokens attend over their prompt, decode tokens over the full
+    // running context. Sequences emitting a token this step also pay
+    // one LM-head forward.
+    Flops attn_flops = 0.0;
+    TokenCount sampled = 0;
+    for (const BatchEntry &e : plan.entries) {
+        const Request *r = batcher_.find(e.requestId);
+        LAER_ASSERT(r != nullptr, "planned request vanished");
+        if (e.prefillTokens > 0) {
+            attn_flops += static_cast<double>(e.prefillTokens) *
+                          model.attnFlopsPerToken(
+                              static_cast<int>(r->prefillTokens));
+            if (r->prefillDone + e.prefillTokens >= r->prefillTokens)
+                ++sampled;
+        } else {
+            attn_flops += model.attnFlopsPerToken(
+                static_cast<int>(r->contextLength()));
+            ++sampled;
+        }
+    }
+    attn_flops += static_cast<double>(res.tokens) * 2.0 *
+                  model.numExperts * model.hiddenDim;
+    const Seconds attn_dur =
+        attn_flops / n / cluster_.computeFlops();
+
+    // Timeline: per layer, attention -> dispatch A2A (barrier) ->
+    // expert FFN -> combine A2A (barrier), forward only.
+    SimEngine eng(n);
+    std::vector<TaskId> prev(n, -1);
+    std::vector<double> imbalance;
+    for (int l = 0; l < layers; ++l) {
+        const VolumeMatrix vol =
+            plans[l].dispatchVolume(model.tokenBytes());
+        const Seconds t_disp =
+            kCollectiveAlpha + a2aBottleneckTime(cluster_, vol);
+        const Seconds t_comb =
+            kCollectiveAlpha +
+            a2aBottleneckTime(cluster_, transposeVolume(vol));
+        const std::vector<TokenCount> recv = plans[l].receivedTokens();
+        std::vector<double> recv_d(recv.begin(), recv.end());
+        imbalance.push_back(imbalanceFactor(recv_d));
+
+        std::vector<TaskId> attn_ids(n), disp_ids(n), expert_ids(n);
+        for (DeviceId d = 0; d < n; ++d) {
+            const std::vector<TaskId> deps =
+                prev[d] < 0 ? std::vector<TaskId>{}
+                            : std::vector<TaskId>{prev[d]};
+            attn_ids[d] = eng.addTask("attn", d, StreamKind::Compute,
+                                      attn_dur, deps, "attn");
+        }
+        for (DeviceId d = 0; d < n; ++d)
+            disp_ids[d] = eng.addTask("dispatch", d,
+                                      StreamKind::Dispatch, t_disp,
+                                      attn_ids, "a2a");
+        for (DeviceId d = 0; d < n; ++d) {
+            const Seconds dur = static_cast<double>(recv[d]) *
+                                model.expertFlopsPerToken() /
+                                cluster_.computeFlops();
+            expert_ids[d] = eng.addTask("expert", d,
+                                        StreamKind::Compute, dur,
+                                        {disp_ids[d]}, "expert");
+        }
+        for (DeviceId d = 0; d < n; ++d)
+            prev[d] = eng.addTask("combine", d, StreamKind::Dispatch,
+                                  t_comb, expert_ids, "a2a");
+    }
+    eng.run();
+
+    const double layer_scale =
+        static_cast<double>(model.layers) / layers;
+    const Seconds head = lmHeadForwardTime(model, sampled, 1,
+                                           cluster_.computeFlops());
+    res.duration = eng.makespan() * layer_scale + head +
+                   config_.stepOverhead + res.migration;
+
+    const auto busy = eng.categoryBusyPerDevice();
+    const auto busyOf = [&busy](const char *key) {
+        const auto it = busy.find(key);
+        return it == busy.end() ? 0.0 : it->second;
+    };
+    res.a2aBusy = busyOf("a2a") * layer_scale;
+    res.expertBusy = busyOf("expert") * layer_scale;
+    res.othersBusy = busyOf("attn") * layer_scale;
+    res.maxRelTokens = mean(imbalance);
+    return res;
+}
+
+bool
+ServingSimulator::step()
+{
+    pumpArrivals();
+    const BatchPlan plan = batcher_.nextBatch();
+    if (plan.empty()) {
+        LAER_ASSERT(!batcher_.hasWork(),
+                    "batcher idle while holding live requests");
+        if (offeringClosed_)
+            return false;
+        // Idle: jump to the next arrival.
+        LAER_ASSERT(lookaheadValid_, "idle with no pending arrival");
+        now_ = lookahead_.arrival;
+        return true;
+    }
+
+    const ServingStepResult res = executeStep(plan);
+    now_ += res.duration;
+    batcher_.applyStep(plan, now_);
+    for (const Request &r : batcher_.takeFinished())
+        metrics_.record(r);
+    steps_.push_back(res);
+    ++stepIndex_;
+    return true;
+}
+
+ServingReport
+ServingSimulator::run()
+{
+    while (step()) {
+    }
+
+    ServingReport report;
+    report.policy = config_.policy;
+    report.offered = offered_;
+    report.completed = metrics_.completed();
+    report.sloMet = metrics_.sloMet();
+    report.steps = static_cast<int>(steps_.size());
+    report.retunes = retunes_;
+    report.elapsed = now_;
+    report.ttftP50 = metrics_.ttftPercentile(50.0);
+    report.ttftP90 = metrics_.ttftPercentile(90.0);
+    report.ttftP99 = metrics_.ttftPercentile(99.0);
+    report.tpotP50 = metrics_.tpotPercentile(50.0);
+    report.tpotP99 = metrics_.tpotPercentile(99.0);
+    report.throughputTps = metrics_.throughput(now_);
+    report.goodputTps = metrics_.goodput(now_);
+
+    Accumulator tokens, step_time, imbalance;
+    for (const ServingStepResult &s : steps_) {
+        tokens.add(static_cast<double>(s.tokens));
+        step_time.add(s.duration);
+        imbalance.add(s.maxRelTokens);
+        report.migrationTotal += s.migration;
+    }
+    report.meanBatchTokens = tokens.mean();
+    report.meanStepTime = step_time.mean();
+    report.meanMaxRelTokens = imbalance.mean();
+    return report;
+}
+
+} // namespace laer

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * End-to-end continuous-batching MoE inference-serving simulator.
+ *
+ * The serving loop mirrors the training runtime's division of labour
+ * (paper Fig. 7) under an open-loop request stream instead of fixed
+ * micro-batches: an ArrivalProcess offers requests, the
+ * ContinuousBatcher assembles each engine step under a token budget,
+ * the drifting RoutingGenerator gates the step's tokens onto experts,
+ * the active layout policy decides where expert replicas live, and
+ * the discrete-event engine prices the step (attention, token
+ * All-to-All dispatch/combine, expert FFN) on the cluster topology.
+ *
+ * Layout policies:
+ *  - LaerServe: the paper's layout tuner (Alg. 2) re-tunes every
+ *    `retunePeriod` steps from the routing aggregated over the last
+ *    window — asynchronously, exactly as the training-side CPU solver
+ *    does, so no stall is charged (FSEP restores replicas from shards
+ *    under the ongoing steps).
+ *  - StaticEp: the fixed vanilla-EP placement; hot experts queue.
+ *  - FlexMoe: incremental replica adjustment with migration penalties
+ *    charged on the serving critical path.
+ *
+ * Reported metrics are the serving-world equivalents of the paper's
+ * iteration time: TTFT/TPOT percentiles, throughput, and
+ * SLO-conditioned goodput.
+ */
+
+#ifndef LAER_SERVE_SERVING_SIM_HH
+#define LAER_SERVE_SERVING_SIM_HH
+
+#include <memory>
+#include <vector>
+
+#include "baselines/flexmoe.hh"
+#include "baselines/static_ep.hh"
+#include "model/config.hh"
+#include "planner/layout_tuner.hh"
+#include "serve/arrival.hh"
+#include "serve/batcher.hh"
+#include "serve/request.hh"
+#include "topo/cluster.hh"
+#include "trace/routing_generator.hh"
+
+namespace laer
+{
+
+/** Expert-placement policies compared by the serving benches. */
+enum class ServingPolicy
+{
+    LaerServe, //!< async layout tuner re-runs on live routing
+    StaticEp,  //!< fixed vanilla EP placement
+    FlexMoe,   //!< incremental adjustment with migration penalty
+};
+
+/** Printable policy name. */
+const char *servingPolicyName(ServingPolicy policy);
+
+/** Full configuration of one serving experiment. */
+struct ServingConfig
+{
+    ModelConfig model;         //!< required; validate()d on start
+    ServingPolicy policy = ServingPolicy::LaerServe;
+    int capacity = 2;          //!< C, expert slots per device
+    int simulatedLayers = 4;   //!< MoE layers carried through the DES
+                               //!< (timing scales to model.layers)
+    Seconds stepOverhead = 2e-3; //!< scheduler + launch cost per step
+    ArrivalConfig arrival;
+    BatcherConfig batcher;     //!< numDevices is filled in by the sim
+    RoutingModel routing;      //!< drift/skew/jitter knobs; the
+                               //!< device/expert/token counts are
+                               //!< filled in by the simulator
+    int retunePeriod = 16;     //!< LAER re-tune cadence, in steps
+    TunerConfig tuner;         //!< LAER planner knobs
+    int flexMaxMoves = 2;      //!< FlexMoE adjustments per step
+    Seconds sloTtft = 0.5;     //!< TTFT target for goodput accounting
+    Seconds horizon = 30.0;    //!< seconds of offered traffic
+    std::uint64_t seed = 42;   //!< routing-generator seed base
+};
+
+/** Timing/accounting of one engine step. */
+struct ServingStepResult
+{
+    Seconds start = 0.0;       //!< simulated step start time
+    Seconds duration = 0.0;    //!< end-to-end step seconds
+    TokenCount tokens = 0;     //!< scheduled tokens (prefill + decode)
+    TokenCount prefill = 0;
+    TokenCount decode = 0;
+    Seconds a2aBusy = 0.0;     //!< dispatch+combine busy per device
+    Seconds expertBusy = 0.0;  //!< expert FFN busy per device (mean)
+    Seconds othersBusy = 0.0;  //!< attention/gate busy per device
+    Seconds migration = 0.0;   //!< baseline re-layout overhead
+    double maxRelTokens = 0.0; //!< mean over layers of max/mean recv
+    bool retuned = false;      //!< LAER applied a fresh layout
+};
+
+/** Summary of a full serving run. */
+struct ServingReport
+{
+    ServingPolicy policy = ServingPolicy::LaerServe;
+    std::int64_t offered = 0;   //!< requests admitted before horizon
+    std::int64_t completed = 0;
+    std::int64_t sloMet = 0;    //!< completions with TTFT <= SLO
+    int steps = 0;
+    int retunes = 0;
+    Seconds elapsed = 0.0;      //!< simulated end of the run
+    Seconds ttftP50 = 0.0, ttftP90 = 0.0, ttftP99 = 0.0;
+    Seconds tpotP50 = 0.0, tpotP99 = 0.0;
+    double throughputTps = 0.0; //!< decode tokens / second
+    double goodputTps = 0.0;    //!< SLO-attained decode tokens / second
+    double meanBatchTokens = 0.0;
+    Seconds meanStepTime = 0.0;
+    double meanMaxRelTokens = 0.0; //!< expert-load imbalance proxy
+    Seconds migrationTotal = 0.0;
+};
+
+/**
+ * The simulator. step() advances one engine step (or jumps to the
+ * next arrival when idle); run() plays the whole horizon and drains.
+ */
+class ServingSimulator
+{
+  public:
+    ServingSimulator(const Cluster &cluster, const ServingConfig &config);
+    ~ServingSimulator();
+
+    /**
+     * Advance the simulation: admit due arrivals, execute one engine
+     * step if there is work, otherwise jump to the next arrival.
+     * @return false once the horizon has passed and all work drained.
+     */
+    bool step();
+
+    /** Play the configured horizon to completion. */
+    ServingReport run();
+
+    /** Current simulated time. */
+    Seconds now() const { return now_; }
+
+    /** Latency collector (valid during and after a run). */
+    const ServingMetrics &metrics() const { return metrics_; }
+
+    /** Per-step results recorded so far. */
+    const std::vector<ServingStepResult> &stepResults() const
+    {
+        return steps_;
+    }
+
+    const ServingConfig &config() const { return config_; }
+
+  private:
+    /** Admit every arrival due at or before now_ (horizon-bounded). */
+    void pumpArrivals();
+
+    /** Price one planned step on the event engine. */
+    ServingStepResult executeStep(const BatchPlan &plan);
+
+    /** Refresh layouts per the active policy; returns migration cost. */
+    Seconds updateLayouts(const std::vector<RoutingMatrix> &routing,
+                          ServingStepResult &result);
+
+    const Cluster &cluster_;
+    ServingConfig config_;
+    ContinuousBatcher batcher_;
+    ArrivalProcess arrivals_;
+    ServingMetrics metrics_;
+    Request lookahead_;          //!< next not-yet-due arrival
+    bool lookaheadValid_ = false;
+    bool offeringClosed_ = false;
+    Seconds now_ = 0.0;
+    int stepIndex_ = 0;
+    int retunes_ = 0;
+    std::int64_t offered_ = 0;
+
+    EpGrouping grouping_;        //!< StaticEp group structure
+    std::vector<RoutingGenerator> generators_; //!< one per sim layer
+    std::vector<ExpertLayout> layouts_;        //!< per sim layer
+    std::vector<RoutingMatrix> aggRouting_;    //!< LAER window sums
+    std::vector<std::unique_ptr<FlexMoePlanner>> flexPlanners_;
+    std::vector<ServingStepResult> steps_;
+};
+
+} // namespace laer
+
+#endif // LAER_SERVE_SERVING_SIM_HH

@@ -73,6 +73,15 @@ RoutingGenerator::popularity() const
 RoutingMatrix
 RoutingGenerator::next()
 {
+    return nextForTokens(std::vector<TokenCount>(
+        model_.numDevices, model_.tokensPerDevice));
+}
+
+RoutingMatrix
+RoutingGenerator::nextForTokens(const std::vector<TokenCount> &tokens)
+{
+    LAER_CHECK(static_cast<int>(tokens.size()) == model_.numDevices,
+               "token vector must have one entry per device");
     // AR(1) logit evolution with stationary std = skew:
     //   l <- drift * l + sqrt(1 - drift^2) * skew * noise
     const double rho = model_.drift;
@@ -92,10 +101,10 @@ RoutingGenerator::next()
 
     const std::vector<double> global = popularity();
     RoutingMatrix routing(model_.numDevices, model_.numExperts);
-    const TokenCount routed =
-        model_.tokensPerDevice * static_cast<TokenCount>(model_.topK);
 
     for (DeviceId d = 0; d < model_.numDevices; ++d) {
+        const TokenCount routed =
+            tokens[d] * static_cast<TokenCount>(model_.topK);
         // Per-device jitter: Dirichlet around the global popularity.
         std::vector<double> alphas(global.size());
         const double conc = 1.0 / std::max(1e-6, model_.deviceJitter);

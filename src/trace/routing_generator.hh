@@ -68,6 +68,15 @@ class RoutingGenerator
     /** Generate the routing matrix of the next iteration. */
     RoutingMatrix next();
 
+    /**
+     * Generate the next routing matrix for externally-specified
+     * per-device token loads (pre-top-k). Serving batches vary in size
+     * every scheduling step, unlike training micro-batches; the drift,
+     * skew and jitter model is identical to next(), which is the
+     * special case of all devices carrying `tokensPerDevice` tokens.
+     */
+    RoutingMatrix nextForTokens(const std::vector<TokenCount> &tokens);
+
     /** Current global expert popularity (softmax of logits). */
     std::vector<double> popularity() const;
 

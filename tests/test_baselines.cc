@@ -99,8 +99,9 @@ TEST(StaticEp, RoutingStaysWithinOwnGroupAndConserves)
     for (DeviceId i = 0; i < 16; ++i)
         for (ExpertId j = 0; j < 8; ++j)
             for (DeviceId k = 0; k < 16; ++k)
-                if (s.at(i, j, k) > 0)
+                if (s.at(i, j, k) > 0) {
                     EXPECT_EQ(g.groupOf(i), g.groupOf(k));
+                }
 }
 
 TEST(StaticEp, HotExpertOverloadsOneDevicePerGroup)
@@ -171,8 +172,9 @@ TEST(FlexMoe, ChargesMigrationTime)
     FlexMoePlanner planner(c, 8, flexConfig());
     const RoutingMatrix r = hotExpertRouting(16, 8, 2, 4000);
     const FlexMoeStep step = planner.update(r);
-    if (step.movesApplied > 0)
+    if (step.movesApplied > 0) {
         EXPECT_GT(step.migrationTime, 0.0);
+    }
     EXPECT_LE(step.movesApplied, 2);
 }
 

@@ -241,9 +241,10 @@ TEST_P(LiteRoutingProperty, ConservationUnderRandomFeasibleLayouts)
             if (!intra_replica)
                 continue;
             for (DeviceId k = 0; k < n; ++k)
-                if (!cluster.sameNode(i, k))
+                if (!cluster.sameNode(i, k)) {
                     EXPECT_EQ(plan.at(i, j, k), 0)
                         << "token leaked across nodes";
+                }
         }
     }
 }
