@@ -1,24 +1,36 @@
 /**
  * @file
- * Fig. 13 (serving extension) — throughput-latency curve of the
- * continuous-batching MoE serving simulator.
+ * Fig. 13 (serving extension) — throughput-latency curve and
+ * memory-pressure sweep of the continuous-batching MoE serving
+ * simulator.
  *
- * Sweeps the offered load (requests/s) of a bursty arrival stream
- * with skewed, drifting expert routing, and reports per policy:
- * p50/p99 TTFT, p50 TPOT, decode throughput, and SLO-conditioned
- * goodput (decode tokens of requests whose TTFT met the target).
- * Expected shape: all policies coincide at low load; as the offered
- * load approaches the knee, StaticEP's hot-expert stragglers stretch
- * step times and its p99 TTFT collapses first, while LAER's async
- * re-tuning keeps expert loads near-balanced and sustains higher
- * goodput at the same p99 TTFT. FlexMoE lands in between: it adapts,
- * but pays migration time on the serving critical path.
+ * Part 1 sweeps the offered load (requests/s) of a bursty arrival
+ * stream with skewed, drifting expert routing, and reports per
+ * policy: p50/p99 TTFT, p50 TPOT, decode throughput, and
+ * SLO-conditioned goodput (decode tokens of requests whose TTFT met
+ * the target). Expected shape: all policies coincide at low load; as
+ * the offered load approaches the knee, StaticEP's hot-expert
+ * stragglers stretch step times and its p99 TTFT collapses first,
+ * while LAER's async re-tuning keeps expert loads near-balanced and
+ * sustains higher goodput at the same p99 TTFT. FlexMoE lands in
+ * between: it adapts, but pays migration time on the serving
+ * critical path.
+ *
+ * Part 2 fixes the load at the knee and sweeps the per-device HBM
+ * budget instead: the KV-cache pool (HBM minus model state minus
+ * activation reserve, serve/kv_cache.hh) shrinks along the x-axis,
+ * so admission throttles and recompute-style preemptions appear.
+ * Expected shape: with ample HBM the policies match Part 1; as the
+ * pool tightens, preemption recompute work inflates every policy's
+ * step times, and the policies' goodput converges — memory pressure,
+ * not expert placement, becomes the binding constraint.
  */
 
 #include <iostream>
 #include <sstream>
 
 #include "core/table.hh"
+#include "serve/kv_cache.hh"
 #include "serve/serving_sim.hh"
 
 namespace
@@ -53,6 +65,52 @@ servingConfig(laer::ServingPolicy policy, double rate)
     cfg.retunePeriod = 16;
     cfg.seed = 7;
     return cfg;
+}
+
+} // namespace
+
+namespace
+{
+
+/** Part 2 — fixed near-knee load, per-device HBM on the x-axis. */
+void
+kvBudgetSweep(const laer::Cluster &cluster,
+              const laer::ServingPolicy (&policies)[3])
+{
+    const double hbm_gib[] = {7.2, 8.0, 10.0, 14.0};
+
+    laer::Table table(
+        "Fig. 13b — KV-cache memory-pressure sweep (" +
+        cluster.describe() +
+        ", 60 req/s bursty, TTFT SLO 500 ms, KV pool = HBM - model "
+        "state - activations)");
+    table.setHeader({"hbm_gib", "kv_pool_gib", "policy", "ttft_p99_ms",
+                     "tpot_p50_ms", "goodput_tok/s", "preempts",
+                     "kv_peak", "kv_mean", "done"});
+
+    for (const double gib : hbm_gib) {
+        for (const laer::ServingPolicy policy : policies) {
+            laer::ServingConfig cfg = servingConfig(policy, 60.0);
+            cfg.hbmPerDevice =
+                static_cast<laer::Bytes>(gib * (1LL << 30));
+            laer::ServingSimulator sim(cluster, cfg);
+            const laer::ServingReport r = sim.run();
+            table.startRow();
+            table.cell(gib, 1);
+            table.cell(static_cast<double>(r.kvBudgetBytes) /
+                           cluster.numDevices() / (1LL << 30),
+                       2);
+            table.cell(laer::servingPolicyName(policy));
+            table.cell(1e3 * r.ttftP99, 1);
+            table.cell(1e3 * r.tpotP50, 2);
+            table.cell(r.goodputTps, 0);
+            table.cell(r.preemptions);
+            table.cell(r.peakKvUtilization, 2);
+            table.cell(r.meanKvUtilization, 2);
+            table.cell(r.completed);
+        }
+    }
+    table.print(std::cout);
 }
 
 } // namespace
@@ -104,6 +162,8 @@ main()
         }
     }
     table.print(std::cout);
+
+    kvBudgetSweep(cluster, policies);
 
     std::ostringstream verdict;
     verdict << "best goodput meeting the p99 TTFT target: LAER "

@@ -2,7 +2,9 @@
  * @file
  * Serving demo: one bursty serving run per layout policy on a small
  * cluster, with the latency summary and a peek at the first engine
- * steps of the LAER run.
+ * steps of the LAER run. The runs carry a 12.75 GiB/device HBM budget,
+ * so admission is KV-cache bound (serve/kv_cache.hh) and the summary
+ * shows preemptions and pool utilization alongside the latencies.
  *
  *   ./examples/serving_demo
  */
@@ -34,6 +36,7 @@ demoConfig(laer::ServingPolicy policy)
 
     cfg.batcher.tokenBudget = 16384;
     cfg.batcher.prefillChunk = 1024;
+    cfg.hbmPerDevice = (51LL << 30) / 4; // 12.75 GiB: tight KV pool
 
     cfg.routing.skew = 1.2;
     cfg.routing.drift = 0.98;
@@ -57,7 +60,8 @@ main()
     Table summary("Serving policies, 10 s of traffic + drain");
     summary.setHeader({"policy", "completed", "ttft_p50_ms",
                        "ttft_p99_ms", "tpot_p50_ms", "goodput_tok/s",
-                       "max_rel_tok", "retunes"});
+                       "max_rel_tok", "preempts", "kv_peak",
+                       "retunes"});
     for (const ServingPolicy policy :
          {ServingPolicy::StaticEp, ServingPolicy::FlexMoe,
           ServingPolicy::LaerServe}) {
@@ -71,6 +75,8 @@ main()
         summary.cell(1e3 * r.tpotP50, 2);
         summary.cell(r.goodputTps, 0);
         summary.cell(r.meanMaxRelTokens, 2);
+        summary.cell(r.preemptions);
+        summary.cell(r.peakKvUtilization, 2);
         summary.cell(r.retunes);
     }
     summary.print(std::cout);

@@ -73,6 +73,19 @@ megatronModelState(const ModelConfig &cfg, int n_devices,
     return m;
 }
 
+ModelStateMemory
+inferenceModelState(const ModelConfig &cfg, int n_devices, int capacity)
+{
+    LAER_CHECK(n_devices >= 1, "need at least one device");
+    LAER_CHECK(capacity >= 1, "capacity must be positive");
+    ModelStateMemory m;
+    m.paramState =
+        cfg.totalParams() * cfg.bytesPerParam / n_devices +
+        cfg.nonExpertParamsPerLayer() * cfg.bytesPerParam +
+        2LL * capacity * cfg.expertParamBytes();
+    return m;
+}
+
 Bytes
 activationBytesPerToken(const ModelConfig &cfg, bool checkpointing)
 {

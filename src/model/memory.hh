@@ -59,6 +59,22 @@ ModelStateMemory megatronModelState(const ModelConfig &cfg, int n_devices,
                                     int ep_degree, int tp_degree);
 
 /**
+ * Inference-time FSEP per-device model state: bf16 parameters fully
+ * sharded (Psi_all / N) plus the unsharded working set — one layer's
+ * attention weights and the 2C double-buffered expert restore slots —
+ * with no gradient or optimizer residency. This is the "model state"
+ * term the serving KV-cache budget subtracts from HBM
+ * (serve/kv_cache.hh).
+ *
+ * @param cfg        Model served.
+ * @param n_devices  Cluster size N.
+ * @param capacity   C, expert slots per device.
+ * @return the breakdown; gradState and optimizerState are zero.
+ */
+ModelStateMemory inferenceModelState(const ModelConfig &cfg, int n_devices,
+                                     int capacity);
+
+/**
  * Activation bytes per token for one Transformer layer (checkpointing
  * keeps only boundary activations when enabled).
  */

@@ -41,6 +41,11 @@ struct CostBreakdown
  * Evaluate Eq. 2 for a concrete (A, S) pair. The layout A enters only
  * through S (which must already respect it); it is accepted so debug
  * builds can assert consistency.
+ *
+ * @param cluster  Topology providing bw(i, k) and B_comp.
+ * @param params   Layer workload constants (V_comm, V_comp, F_ckpt).
+ * @param plan     Dense routing plan S.
+ * @return the decomposed T_comm / T_comp objective value.
  */
 CostBreakdown timeCost(const Cluster &cluster, const CostParams &params,
                        const RoutingPlan &plan);
@@ -49,6 +54,13 @@ CostBreakdown timeCost(const Cluster &cluster, const CostParams &params,
  * Fast path used in the tuner's inner loop: identical maths to
  * timeCost but fed with precomputed per-destination token sums to
  * avoid rebuilding volume matrices.
+ *
+ * @param cluster                Topology providing B_comp.
+ * @param params                 Layer workload constants.
+ * @param recv_tokens            Tokens received per destination device.
+ * @param pair_sum_over_bw_bytes Precomputed sum of S[i][j][k] / bw(i, k)
+ *                               in token-seconds per byte.
+ * @return the decomposed objective, equal to timeCost on the same plan.
  */
 CostBreakdown timeCostFromSums(const Cluster &cluster,
                                const CostParams &params,

@@ -50,6 +50,11 @@ struct LayoutDecision
  * Solve the expert re-layout for one MoE layer given the routing
  * matrix observed in the previous iteration (paper Fig. 7: the CPU
  * solves for iteration t+1 while t computes).
+ *
+ * @param cluster  Topology the layouts are placed on.
+ * @param routing  Observed routing matrix R of the last iteration.
+ * @param config   Tuner knobs (capacity, scheme set, cost constants).
+ * @return the cheapest evaluated layout with its plan and Eq. 2 cost.
  */
 LayoutDecision tuneExpertLayout(const Cluster &cluster,
                                 const RoutingMatrix &routing,

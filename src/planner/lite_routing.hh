@@ -24,14 +24,24 @@ namespace laer
 /**
  * Route one source device's tokens (one row of R) given the global
  * layout. Fills the S[rank][j][k] slice of `plan`.
+ *
+ * @param cluster  Topology (node membership drives the replica choice).
+ * @param routing  Routing matrix R.
+ * @param layout   Global expert layout A.
+ * @param rank     Source device whose row is routed.
+ * @param plan     Output plan; only the `rank` slice is written.
  */
 void liteRouteRank(const Cluster &cluster, const RoutingMatrix &routing,
                    const ExpertLayout &layout, DeviceId rank,
                    RoutingPlan &plan);
 
 /**
- * Convenience: run liteRouteRank for every device and return the full
- * routing plan S.
+ * Convenience: run liteRouteRank for every device.
+ *
+ * @param cluster  Topology.
+ * @param routing  Routing matrix R.
+ * @param layout   Global expert layout A.
+ * @return the full dense routing plan S.
  */
 RoutingPlan liteRouting(const Cluster &cluster,
                         const RoutingMatrix &routing,
@@ -51,6 +61,12 @@ struct LiteRoutingScore
  * the dense N x E x N plan — the tuner's inner loop runs this once
  * per candidate replica scheme, keeping the solver inside the
  * per-layer time budget even at 1024 devices (Fig. 11).
+ *
+ * @param cluster  Topology.
+ * @param routing  Routing matrix R.
+ * @param layout   Candidate expert layout A.
+ * @param params   Cost constants for the Eq. 2 evaluation.
+ * @return the Eq. 2 breakdown and per-destination received tokens.
  */
 LiteRoutingScore scoreLiteRouting(const Cluster &cluster,
                                   const RoutingMatrix &routing,

@@ -23,6 +23,13 @@ namespace laer
  * Enumerate all feasible layouts (<= `max_states` combinations,
  * default 2^20) and return the best decision under lite routing.
  * Throws FatalError when the instance is too large.
+ *
+ * @param cluster     Topology the layouts are placed on.
+ * @param routing     Routing matrix R to optimise for.
+ * @param cost        Cost constants for the Eq. 2 evaluation.
+ * @param capacity    Expert slots per device (C).
+ * @param max_states  Enumeration abort threshold.
+ * @return the certified-cheapest decision within the routing family.
  */
 LayoutDecision exhaustiveLayoutSearch(const Cluster &cluster,
                                       const RoutingMatrix &routing,

@@ -28,6 +28,8 @@ namespace laer
  * n_experts <= n_devices * capacity and capacity <= n_experts.
  *
  * @param expert_loads  Total tokens per expert (column sums of R).
+ * @param n_devices     Cluster size N.
+ * @param capacity      Expert slots per device (C).
  * @return replicas per expert, summing to n_devices * capacity.
  */
 std::vector<int> replicaAllocation(const std::vector<TokenCount> &expert_loads,
@@ -36,6 +38,11 @@ std::vector<int> replicaAllocation(const std::vector<TokenCount> &expert_loads,
 /**
  * Even allocation: floor(N*C / E) replicas each, remainder granted to
  * the highest-load experts so the slot budget is exactly consumed.
+ *
+ * @param expert_loads  Total tokens per expert (remainder tie-break).
+ * @param n_devices     Cluster size N.
+ * @param capacity      Expert slots per device (C).
+ * @return replicas per expert, summing to n_devices * capacity.
  */
 std::vector<int> evenAllocation(const std::vector<TokenCount> &expert_loads,
                                 int n_devices, int capacity);
@@ -44,8 +51,13 @@ std::vector<int> evenAllocation(const std::vector<TokenCount> &expert_loads,
  * Random perturbation used by the tuner (Alg. 2 lines 5-7): move one
  * replica from a random expert holding more than one to a random other
  * expert below `max_per_expert`. Feasibility (every expert keeps >= 1
- * replica, none exceeds the cap) is preserved. Returns the input
- * unchanged when no legal move exists.
+ * replica, none exceeds the cap) is preserved.
+ *
+ * @param replicas        Feasible replica counts to perturb.
+ * @param rng             Randomness source for the move choice.
+ * @param max_per_expert  Replica cap per expert (usually N).
+ * @return the perturbed counts; the input unchanged when no legal
+ *         move exists.
  */
 std::vector<int> perturbAllocation(std::vector<int> replicas, Rng &rng,
                                    int max_per_expert);

@@ -74,7 +74,11 @@ class ArrivalProcess
   public:
     explicit ArrivalProcess(const ArrivalConfig &config);
 
-    /** Generate the next request of the stream. */
+    /**
+     * Generate the next request of the stream.
+     * @return a request with a fresh id and an arrival time strictly
+     *         after every previously generated one.
+     */
     Request next();
 
     /** Config in force. */

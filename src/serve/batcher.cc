@@ -38,13 +38,20 @@ ContinuousBatcher::ContinuousBatcher(const BatcherConfig &config)
     : config_(config), waiting_(config.numSloClasses)
 {
     LAER_CHECK(config_.tokenBudget >= 1, "token budget must be positive");
-    LAER_CHECK(config_.maxRunning >= 1, "need at least one KV slot");
     LAER_CHECK(config_.prefillChunk >= 1,
                "prefill chunk must be positive");
     LAER_CHECK(config_.numSloClasses >= 1, "need at least one SLO class");
     LAER_CHECK(config_.numDevices >= 1, "need at least one device");
     LAER_CHECK(config_.deviceTokenCap >= 0,
                "device token cap cannot be negative");
+    if (config_.kvBudgetBytes > 0) {
+        LAER_CHECK(config_.kvBytesPerToken >= 1,
+                   "KV model needs kvBytesPerToken");
+        kv_.emplace(config_.kvBudgetBytes, config_.kvBytesPerToken,
+                    config_.kvBlockTokens);
+    } else {
+        LAER_CHECK(config_.maxRunning >= 1, "need at least one KV slot");
+    }
 }
 
 TokenCount
@@ -56,6 +63,24 @@ ContinuousBatcher::effectiveBudget() const
                     config_.deviceTokenCap * config_.numDevices);
 }
 
+Bytes
+ContinuousBatcher::kvBudgetBytes() const
+{
+    return kv_ ? kv_->budgetBytes() : 0;
+}
+
+Bytes
+ContinuousBatcher::kvReservedBytes() const
+{
+    return kv_ ? kv_->reservedBytes() : 0;
+}
+
+double
+ContinuousBatcher::kvUtilization() const
+{
+    return kv_ ? kv_->utilization() : 0.0;
+}
+
 void
 ContinuousBatcher::enqueue(const Request &request)
 {
@@ -64,7 +89,107 @@ ContinuousBatcher::enqueue(const Request &request)
                "request SLO class out of range");
     LAER_CHECK(request.prefillTokens >= 1 && request.decodeTokens >= 1,
                "request needs at least one prefill and decode token");
+    if (kv_) {
+        // A request whose full context can never fit the pool would
+        // deadlock admission; that is a configuration error.
+        LAER_CHECK(kv_->bytesFor(request.prefillTokens +
+                                 request.decodeTokens) <=
+                       kv_->budgetBytes(),
+                   "request " << request.id << " needs "
+                              << kv_->bytesFor(request.prefillTokens +
+                                               request.decodeTokens)
+                              << " KV bytes but the pool holds only "
+                              << kv_->budgetBytes());
+    }
     waiting_[request.sloClass].push_back(request);
+}
+
+int
+ContinuousBatcher::pickVictim(const std::vector<int> &protected_ids,
+                              int grower_class) const
+{
+    // Lowest priority = highest SLO class id; ties go to the youngest
+    // (latest admitted, i.e. furthest back in running_). A grower may
+    // only displace requests of its own or a lower-priority class —
+    // when only higher-priority sequences hold the pool, the grower
+    // yields instead (see secureDecodeGrowth).
+    int best = -1;
+    int best_class = -1;
+    for (int i = 0; i < static_cast<int>(running_.size()); ++i) {
+        const Request &r = running_[i];
+        if (r.sloClass < grower_class)
+            continue;
+        if (std::find(protected_ids.begin(), protected_ids.end(),
+                      r.id) != protected_ids.end())
+            continue;
+        if (r.sloClass >= best_class) {
+            best_class = r.sloClass;
+            best = i;
+        }
+    }
+    return best;
+}
+
+void
+ContinuousBatcher::preempt(int index)
+{
+    Request victim = running_[static_cast<std::size_t>(index)];
+    running_.erase(running_.begin() + index);
+    kv_->release(victim.id);
+    victim.restoring = true;
+    victim.prefillDone = 0;
+    ++victim.preemptions;
+    preemptedLog_.push_back(victim.sloClass);
+    ++totalPreemptions_;
+    // Front of the class queue: a preempted request resumes before
+    // fresh arrivals of its class. Victims are evicted youngest-first,
+    // so successive push_fronts restore admission order among them.
+    waiting_[victim.sloClass].push_front(victim);
+}
+
+void
+ContinuousBatcher::secureDecodeGrowth()
+{
+    // Grow in scheduling priority order — class first, admission order
+    // within a class — so when the pool runs dry the high-priority old
+    // sequences keep decoding and the low-priority young ones yield.
+    std::vector<int> growers;
+    for (int c = 0; c < config_.numSloClasses; ++c)
+        for (const Request &r : running_)
+            if (r.sloClass == c && r.phase() == RequestPhase::Decode)
+                growers.push_back(r.id);
+
+    std::vector<int> secured;
+    for (const int id : growers) {
+        const auto self = std::find_if(
+            running_.begin(), running_.end(),
+            [id](const Request &r) { return r.id == id; });
+        if (self == running_.end())
+            continue; // already evicted by an earlier grower
+        const TokenCount target = self->contextLength() + 1;
+        const int grower_class = self->sloClass;
+
+        std::vector<int> protected_ids = secured;
+        protected_ids.push_back(id);
+        while (!kv_->canGrow(id, target)) {
+            const int victim = pickVictim(protected_ids, grower_class);
+            if (victim < 0)
+                break;
+            preempt(victim);
+        }
+        if (kv_->canGrow(id, target)) {
+            kv_->grow(id, target);
+            secured.push_back(id);
+        } else {
+            // No same-or-lower-priority sequence is left to evict and
+            // the growth still does not fit: the grower yields rather
+            // than over-committing or displacing higher priorities.
+            const auto again = std::find_if(
+                running_.begin(), running_.end(),
+                [id](const Request &r) { return r.id == id; });
+            preempt(static_cast<int>(again - running_.begin()));
+        }
+    }
 }
 
 BatchPlan
@@ -72,6 +197,13 @@ ContinuousBatcher::nextBatch()
 {
     BatchPlan plan;
     TokenCount budget = effectiveBudget();
+
+    // KV pre-pass: reserve this step's decode growth, evicting victims
+    // (recompute-style) when the pool is exhausted. Every decode-phase
+    // sequence still running afterwards holds a reservation covering
+    // its next token.
+    if (kv_)
+        secureDecodeGrowth();
 
     // Decode first: one token per running sequence past prefill, in
     // admission order, so generation latency never queues behind
@@ -88,11 +220,12 @@ ContinuousBatcher::nextBatch()
         budget -= 1;
     }
 
-    // Continue chunked prefills of already-running requests.
+    // Continue chunked prefills of already-running requests (after a
+    // preemption the target also covers recomputing generated tokens).
     for (const Request &r : running_) {
         if (budget < 1)
             break;
-        const TokenCount remaining = r.prefillTokens - r.prefillDone;
+        const TokenCount remaining = r.prefillTarget() - r.prefillDone;
         if (remaining <= 0)
             continue;
         BatchEntry e;
@@ -103,16 +236,35 @@ ContinuousBatcher::nextBatch()
         budget -= e.prefillTokens;
     }
 
-    // Admit waiting requests: class order, FIFO within a class.
+    // Admit waiting requests: class order, FIFO within a class. With
+    // the KV model the pool must cover the request's current context
+    // (prompt, plus generated tokens when it re-enters after a
+    // preemption); without it, the legacy maxRunning slot count rules.
+    // A head blocked on memory halts admission for EVERY later class
+    // too — otherwise lower-priority requests would keep sniping the
+    // bytes the higher-priority head is waiting for and starve it.
+    bool memory_blocked = false;
     for (auto &queue : waiting_) {
-        while (!queue.empty() && budget >= 1 &&
-               runningCount() < config_.maxRunning) {
-            Request r = queue.front();
+        if (memory_blocked)
+            break;
+        while (!queue.empty() && budget >= 1) {
+            Request &head = queue.front();
+            if (kv_) {
+                if (!kv_->canGrow(head.id, head.contextLength())) {
+                    memory_blocked = true;
+                    break; // strict FIFO: everyone waits for memory
+                }
+                kv_->grow(head.id, head.contextLength());
+            } else if (runningCount() >= config_.maxRunning) {
+                break;
+            }
+            Request r = head;
             queue.pop_front();
             BatchEntry e;
             e.requestId = r.id;
-            e.prefillTokens =
-                std::min({r.prefillTokens, config_.prefillChunk, budget});
+            e.prefillTokens = std::min(
+                {r.prefillTarget() - r.prefillDone,
+                 config_.prefillChunk, budget});
             plan.entries.push_back(e);
             budget -= e.prefillTokens;
             running_.push_back(r);
@@ -137,26 +289,33 @@ ContinuousBatcher::applyStep(const BatchPlan &plan, Seconds finish_time)
             LAER_ASSERT(e.decodeTokens == 0,
                         "a step schedules prefill or decode, not both");
             r.prefillDone += e.prefillTokens;
-            LAER_ASSERT(r.prefillDone <= r.prefillTokens,
-                        "prefill overran the prompt");
-            if (r.prefillDone == r.prefillTokens) {
-                // The step completing the prefill emits the first
-                // output token.
-                r.firstTokenTime = finish_time;
-                r.decodeDone = 1;
+            LAER_ASSERT(r.prefillDone <= r.prefillTarget(),
+                        "prefill overran its target");
+            if (r.prefillDone == r.prefillTarget()) {
+                if (r.firstTokenTime < 0.0) {
+                    // The step completing the prefill emits the first
+                    // output token.
+                    r.firstTokenTime = finish_time;
+                    r.decodeDone = 1;
+                }
+                // A KV recompute after preemption ends here; the
+                // tokens it replayed were already delivered.
+                r.restoring = false;
             }
         } else if (e.decodeTokens > 0) {
             LAER_ASSERT(r.phase() == RequestPhase::Decode,
                         "decode scheduled for a non-decoding request");
             r.decodeDone += e.decodeTokens;
         }
-        if (r.decodeDone >= r.decodeTokens)
+        if (r.phase() == RequestPhase::Finished)
             r.finishTime = finish_time;
     }
 
     // Retire finished requests while preserving admission order.
     for (auto it = running_.begin(); it != running_.end();) {
         if (it->phase() == RequestPhase::Finished) {
+            if (kv_)
+                kv_->release(it->id);
             finished_.push_back(*it);
             it = running_.erase(it);
         } else {
@@ -170,6 +329,14 @@ ContinuousBatcher::takeFinished()
 {
     std::vector<Request> out;
     out.swap(finished_);
+    return out;
+}
+
+std::vector<int>
+ContinuousBatcher::takePreemptedClasses()
+{
+    std::vector<int> out;
+    out.swap(preemptedLog_);
     return out;
 }
 

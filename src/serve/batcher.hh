@@ -12,6 +12,23 @@
  * ones. Admission is strict FIFO within an SLO class, with lower
  * class ids admitted first.
  *
+ * Concurrency is bounded one of two ways:
+ *
+ *  - Legacy slot count: at most `maxRunning` sequences run at once
+ *    (kvBudgetBytes == 0).
+ *  - KV-cache memory model (kvBudgetBytes > 0): a request is admitted
+ *    only when the KvCachePool can reserve blocks for its context,
+ *    every decode step grows the running sequence's reservation, and
+ *    when growth exhausts the pool the batcher preempts the
+ *    lowest-priority (highest class id), youngest running sequence —
+ *    recompute-style: its KV is dropped and it re-queues at the FRONT
+ *    of its class, replaying prompt + generated tokens as prefill on
+ *    re-admission. Growth never displaces a higher-priority sequence
+ *    (the grower yields instead), and a head-of-queue request blocked
+ *    on memory halts admission for every lower-priority class so its
+ *    bytes cannot be sniped. `maxRunning` is ignored in this mode;
+ *    simulated HBM is the only concurrency limit.
+ *
  * The batch is data-parallel sharded across devices, so the per-step
  * token budget doubles as the per-device expert capacity knob: with N
  * devices and top-k routing, a step schedules at most
@@ -22,9 +39,12 @@
 #ifndef LAER_SERVE_BATCHER_HH
 #define LAER_SERVE_BATCHER_HH
 
+#include <cstdint>
 #include <deque>
+#include <optional>
 #include <vector>
 
+#include "serve/kv_cache.hh"
 #include "serve/request.hh"
 
 namespace laer
@@ -34,7 +54,8 @@ namespace laer
 struct BatcherConfig
 {
     TokenCount tokenBudget = 8192; //!< scheduled tokens per step
-    int maxRunning = 128;          //!< concurrent sequences (KV slots)
+    int maxRunning = 128;          //!< concurrent sequences; only
+                                   //!< enforced when kvBudgetBytes == 0
     TokenCount prefillChunk = 512; //!< max prefill tokens per request
                                    //!< per step (Sarathi chunking)
     int numSloClasses = 1;         //!< admission priority classes
@@ -42,6 +63,13 @@ struct BatcherConfig
      * effective step budget is min(tokenBudget, N * deviceTokenCap). */
     TokenCount deviceTokenCap = 0;
     int numDevices = 1;            //!< N, for the per-device cap
+
+    /** Cluster-wide KV-cache pool in bytes; 0 keeps the legacy
+     * `maxRunning` slot count. Derived from per-device HBM by
+     * servingMemoryBudget() when driven through ServingConfig. */
+    Bytes kvBudgetBytes = 0;
+    Bytes kvBytesPerToken = 0;     //!< required when kvBudgetBytes > 0
+    TokenCount kvBlockTokens = 16; //!< paged-allocation granularity
 };
 
 /** Work scheduled for one request in one engine step. */
@@ -80,21 +108,41 @@ class ContinuousBatcher
   public:
     explicit ContinuousBatcher(const BatcherConfig &config);
 
-    /** Admit a request into its class's waiting queue. */
+    /**
+     * Admit a request into its class's waiting queue.
+     * @param request  Must carry a valid SLO class and at least one
+     *                 prefill and decode token; with the KV model
+     *                 enabled its full context (prompt + output) must
+     *                 fit the pool, or no schedule could ever run it.
+     */
     void enqueue(const Request &request);
 
-    /** Plan the next engine step (empty plan when nothing to do). */
+    /**
+     * Plan the next engine step. With the KV model enabled this is
+     * also where preemption happens: decode growth that no longer
+     * fits the pool evicts victims before the plan is assembled.
+     * @return the planned step; empty when nothing can run.
+     */
     BatchPlan nextBatch();
 
     /**
      * Commit a planned step that finished at `finish_time`: advance
      * prefill/decode progress, stamp first-token and finish times, and
-     * retire completed requests.
+     * retire completed requests (releasing their KV reservation).
+     * @param plan         The plan returned by the last nextBatch().
+     * @param finish_time  Simulated time the step completed.
      */
     void applyStep(const BatchPlan &plan, Seconds finish_time);
 
     /** Drain requests completed since the last call. */
     std::vector<Request> takeFinished();
+
+    /**
+     * Drain the SLO classes of preemptions since the last call, in
+     * eviction order (one entry per event).
+     * @return class ids of the preempted requests.
+     */
+    std::vector<int> takePreemptedClasses();
 
     /** Look a live (waiting or running) request up by id. */
     const Request *find(int id) const;
@@ -114,13 +162,46 @@ class ContinuousBatcher
     /** Effective per-step token budget after the per-device cap. */
     TokenCount effectiveBudget() const;
 
+    /** True when admission is bounded by KV bytes, not maxRunning. */
+    bool kvEnabled() const { return kv_.has_value(); }
+
+    /** Total KV pool bytes; 0 when the KV model is disabled. */
+    Bytes kvBudgetBytes() const;
+
+    /** KV bytes currently reserved; 0 when disabled. */
+    Bytes kvReservedBytes() const;
+
+    /** KV pool utilization in [0, 1]; 0 when disabled. */
+    double kvUtilization() const;
+
+    /** Recompute-style evictions since construction. */
+    std::int64_t totalPreemptions() const { return totalPreemptions_; }
+
     const BatcherConfig &config() const { return config_; }
 
   private:
+    /** Reserve decode growth for running sequences, evicting when the
+     * pool runs dry. Only called with the KV model enabled. */
+    void secureDecodeGrowth();
+
+    /** Index into running_ of the preferred victim (highest class id,
+     * then youngest), skipping `protected_ids` and any request of a
+     * class more urgent than `grower_class` — growth never evicts a
+     * higher-priority sequence; -1 when none qualifies. */
+    int pickVictim(const std::vector<int> &protected_ids,
+                   int grower_class) const;
+
+    /** Evict running_[index]: drop its KV, reset its prefill progress
+     * for recompute, and re-queue it at the front of its class. */
+    void preempt(int index);
+
     BatcherConfig config_;
+    std::optional<KvCachePool> kv_;
     std::vector<std::deque<Request>> waiting_; //!< FIFO per SLO class
     std::deque<Request> running_;              //!< admission order
     std::vector<Request> finished_;
+    std::vector<int> preemptedLog_; //!< classes since last drain
+    std::int64_t totalPreemptions_ = 0;
 };
 
 } // namespace laer

@@ -25,9 +25,9 @@ requestPhaseName(RequestPhase phase)
 RequestPhase
 Request::phase() const
 {
-    if (decodeDone >= decodeTokens)
+    if (!restoring && decodeDone >= decodeTokens)
         return RequestPhase::Finished;
-    if (prefillDone >= prefillTokens)
+    if (prefillDone >= prefillTarget())
         return RequestPhase::Decode;
     if (prefillDone > 0)
         return RequestPhase::Prefill;
@@ -68,6 +68,51 @@ ServingMetrics::record(const Request &request)
         ++sloMet_;
         goodTokens_ += request.decodeTokens;
     }
+}
+
+void
+ServingMetrics::recordPreemption(int slo_class)
+{
+    LAER_CHECK(slo_class >= 0, "negative SLO class");
+    if (static_cast<std::size_t>(slo_class) >= preemptionsByClass_.size())
+        preemptionsByClass_.resize(slo_class + 1, 0);
+    ++preemptionsByClass_[slo_class];
+}
+
+void
+ServingMetrics::recordKvUtilization(double utilization)
+{
+    kvUtil_.push_back(utilization);
+}
+
+std::int64_t
+ServingMetrics::totalPreemptions() const
+{
+    std::int64_t n = 0;
+    for (const std::int64_t c : preemptionsByClass_)
+        n += c;
+    return n;
+}
+
+std::int64_t
+ServingMetrics::preemptions(int slo_class) const
+{
+    if (slo_class < 0 ||
+        static_cast<std::size_t>(slo_class) >= preemptionsByClass_.size())
+        return 0;
+    return preemptionsByClass_[slo_class];
+}
+
+double
+ServingMetrics::meanKvUtilization() const
+{
+    return mean(kvUtil_);
+}
+
+double
+ServingMetrics::peakKvUtilization() const
+{
+    return maxOf(kvUtil_);
 }
 
 Seconds

@@ -6,8 +6,14 @@
  * for `decodeTokens` generated tokens. Prefill may be chunked across
  * several engine steps (Sarathi-style); the first output token is
  * produced by the step that completes the prefill, and every later
- * decode step emits exactly one token. The two serving latency
- * metrics derive directly from that life cycle:
+ * decode step emits exactly one token. Under KV-cache pressure the
+ * batcher may preempt a running request (recompute-style eviction):
+ * its KV reservation is dropped, it re-queues at the front of its SLO
+ * class, and on re-admission it replays prompt *and* already-generated
+ * tokens as prefill work to rebuild the cache before decoding resumes
+ * — the generated tokens themselves were already delivered, so TTFT
+ * and token counts are unaffected; only latency suffers. The two
+ * serving latency metrics derive directly from that life cycle:
  *
  *   TTFT = time of the first output token - arrival time
  *   TPOT = (finish - first token) / (decodeTokens - 1)
@@ -52,12 +58,25 @@ struct Request
     TokenCount decodeDone = 0;    //!< output tokens already produced
     Seconds firstTokenTime = -1.0; //!< absolute time; < 0 until known
     Seconds finishTime = -1.0;     //!< absolute time; < 0 until done
+    bool restoring = false;       //!< preempted; KV is being recomputed
+    int preemptions = 0;          //!< times this request was evicted
 
     /** Current life-cycle stage, derived from progress counters. */
     RequestPhase phase() const;
 
     /** Context length the next decode token attends over. */
     TokenCount contextLength() const { return prefillTokens + decodeDone; }
+
+    /**
+     * Prefill tokens this request must process before it can (resume)
+     * decoding: the prompt, plus — after a preemption — the generated
+     * tokens whose KV entries must be recomputed.
+     * @return prefillTokens, or contextLength() while restoring.
+     */
+    TokenCount prefillTarget() const
+    {
+        return restoring ? contextLength() : prefillTokens;
+    }
 
     /** Time to first token; negative until the first token exists. */
     Seconds ttft() const;
@@ -71,7 +90,9 @@ struct Request
  * Accumulates completed requests and reports the latency/goodput
  * summary of a serving run. Goodput follows the SLO-attainment
  * convention: only requests whose TTFT met the target contribute
- * their decode tokens.
+ * their decode tokens. Under the KV-cache memory model the collector
+ * additionally tracks preemption counts per SLO class and the
+ * KV-pool utilization time series sampled once per engine step.
  */
 class ServingMetrics
 {
@@ -79,8 +100,44 @@ class ServingMetrics
     /** @param slo_ttft  TTFT target used for goodput attribution. */
     explicit ServingMetrics(Seconds slo_ttft);
 
-    /** Fold one finished request into the summary. */
+    /**
+     * Fold one finished request into the summary.
+     * @param request  Must be in RequestPhase::Finished.
+     */
     void record(const Request &request);
+
+    /**
+     * Record one recompute-style eviction.
+     * @param slo_class  Class of the preempted request (>= 0).
+     */
+    void recordPreemption(int slo_class);
+
+    /**
+     * Record one engine step's KV-pool utilization sample.
+     * @param utilization  reservedBytes / budgetBytes, in [0, 1].
+     */
+    void recordKvUtilization(double utilization);
+
+    /** Preemptions recorded across all SLO classes. */
+    std::int64_t totalPreemptions() const;
+
+    /**
+     * Preemptions recorded for one SLO class.
+     * @param slo_class  Class id; unseen classes report 0.
+     */
+    std::int64_t preemptions(int slo_class) const;
+
+    /** Mean of the recorded KV-utilization samples; 0 when empty. */
+    double meanKvUtilization() const;
+
+    /** Peak recorded KV-utilization sample; 0 when empty. */
+    double peakKvUtilization() const;
+
+    /** KV-utilization samples in recording order (one per step). */
+    const std::vector<double> &kvUtilizationSeries() const
+    {
+        return kvUtil_;
+    }
 
     /** Number of requests recorded. */
     std::int64_t completed() const { return completed_; }
@@ -94,16 +151,33 @@ class ServingMetrics
     /** Decode tokens of SLO-meeting requests only. */
     TokenCount goodTokens() const { return goodTokens_; }
 
-    /** TTFT percentile, p in [0, 100]; 0 when empty. */
+    /**
+     * TTFT percentile.
+     * @param p  Percentile in [0, 100].
+     * @return the percentile in seconds; 0 when no request finished.
+     */
     Seconds ttftPercentile(double p) const;
 
-    /** TPOT percentile over multi-token requests; 0 when empty. */
+    /**
+     * TPOT percentile over multi-token requests.
+     * @param p  Percentile in [0, 100].
+     * @return the percentile in seconds; 0 when empty.
+     */
     Seconds tpotPercentile(double p) const;
 
-    /** Decode tokens per second over `elapsed` seconds. */
+    /**
+     * Decode tokens per second.
+     * @param elapsed  Wall-clock seconds of the run; must be > 0 for a
+     *                 meaningful rate (0 yields 0).
+     * @return decodedTokens() / elapsed.
+     */
     double throughput(Seconds elapsed) const;
 
-    /** SLO-attained decode tokens per second over `elapsed`. */
+    /**
+     * SLO-attained decode tokens per second.
+     * @param elapsed  Wall-clock seconds of the run.
+     * @return goodTokens() / elapsed; 0 when elapsed is 0.
+     */
     double goodput(Seconds elapsed) const;
 
     /** TTFT target this collector scores against. */
@@ -117,6 +191,8 @@ class ServingMetrics
     TokenCount goodTokens_ = 0;
     std::vector<double> ttfts_;
     std::vector<double> tpots_;
+    std::vector<std::int64_t> preemptionsByClass_;
+    std::vector<double> kvUtil_;
 };
 
 } // namespace laer

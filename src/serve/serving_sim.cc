@@ -5,6 +5,7 @@
 #include "comm/collectives.hh"
 #include "core/error.hh"
 #include "core/stats.hh"
+#include "serve/kv_cache.hh"
 #include "planner/lite_routing.hh"
 #include "planner/relocation.hh"
 #include "planner/replica_alloc.hh"
@@ -50,6 +51,19 @@ normalizeConfig(const Cluster &cluster, ServingConfig config)
 
     config.batcher.numDevices = n;
     config.batcher.numSloClasses = config.arrival.numSloClasses;
+
+    if (config.hbmPerDevice > 0) {
+        // Derive the KV pool from simulated HBM: model state and the
+        // activation working set come off the top (Sec. 3.1 memory
+        // model applied to inference), the remainder is KV, and the
+        // batcher switches from maxRunning slots to byte accounting.
+        const ServingMemoryBudget mem = servingMemoryBudget(
+            config.model, n, config.capacity, config.hbmPerDevice,
+            std::max<TokenCount>(1, config.batcher.tokenBudget / n));
+        config.batcher.kvBudgetBytes = mem.kvPoolTotal;
+        config.batcher.kvBytesPerToken = kvBytesPerToken(config.model);
+        config.batcher.kvBlockTokens = config.kvBlockTokens;
+    }
 
     config.routing.numDevices = n;
     config.routing.numExperts = experts;
@@ -266,8 +280,12 @@ ServingSimulator::executeStep(const BatchPlan &plan)
         if (e.prefillTokens > 0) {
             attn_flops += static_cast<double>(e.prefillTokens) *
                           model.attnFlopsPerToken(
-                              static_cast<int>(r->prefillTokens));
-            if (r->prefillDone + e.prefillTokens >= r->prefillTokens)
+                              static_cast<int>(r->prefillTarget()));
+            // Completing the (re)prefill emits a token only when the
+            // first token has not been produced yet; a KV recompute
+            // after preemption replays tokens already delivered.
+            if (r->prefillDone + e.prefillTokens >= r->prefillTarget() &&
+                r->firstTokenTime < 0.0)
                 ++sampled;
         } else {
             attn_flops += model.attnFlopsPerToken(
@@ -347,6 +365,11 @@ ServingSimulator::step()
 {
     pumpArrivals();
     const BatchPlan plan = batcher_.nextBatch();
+    // Planning is where KV preemption happens; account for it even on
+    // the (theoretically impossible) empty-plan path.
+    const std::vector<int> preempted = batcher_.takePreemptedClasses();
+    for (const int slo_class : preempted)
+        metrics_.recordPreemption(slo_class);
     if (plan.empty()) {
         LAER_ASSERT(!batcher_.hasWork(),
                     "batcher idle while holding live requests");
@@ -358,7 +381,13 @@ ServingSimulator::step()
         return true;
     }
 
-    const ServingStepResult res = executeStep(plan);
+    ServingStepResult res = executeStep(plan);
+    res.preemptions = static_cast<int>(preempted.size());
+    if (batcher_.kvEnabled()) {
+        // Post-plan reservation peak of this step.
+        res.kvUtilization = batcher_.kvUtilization();
+        metrics_.recordKvUtilization(res.kvUtilization);
+    }
     now_ += res.duration;
     batcher_.applyStep(plan, now_);
     for (const Request &r : batcher_.takeFinished())
@@ -400,6 +429,14 @@ ServingSimulator::run()
     report.meanBatchTokens = tokens.mean();
     report.meanStepTime = step_time.mean();
     report.meanMaxRelTokens = imbalance.mean();
+
+    report.kvBudgetBytes = batcher_.kvBudgetBytes();
+    report.preemptions = metrics_.totalPreemptions();
+    report.preemptionsByClass.resize(config_.batcher.numSloClasses, 0);
+    for (int c = 0; c < config_.batcher.numSloClasses; ++c)
+        report.preemptionsByClass[c] = metrics_.preemptions(c);
+    report.meanKvUtilization = metrics_.meanKvUtilization();
+    report.peakKvUtilization = metrics_.peakKvUtilization();
     return report;
 }
 

@@ -65,6 +65,12 @@ struct ServingConfig
     int simulatedLayers = 4;   //!< MoE layers carried through the DES
                                //!< (timing scales to model.layers)
     Seconds stepOverhead = 2e-3; //!< scheduler + launch cost per step
+    /** Per-device HBM in bytes. When > 0 the simulator derives the
+     * batcher's KV-cache pool from it (servingMemoryBudget): model
+     * state + activation reserve come off the top, the rest is KV,
+     * and admission/preemption run on bytes instead of maxRunning. */
+    Bytes hbmPerDevice = 0;
+    TokenCount kvBlockTokens = 16; //!< KV paged-allocation granularity
     ArrivalConfig arrival;
     BatcherConfig batcher;     //!< numDevices is filled in by the sim
     RoutingModel routing;      //!< drift/skew/jitter knobs; the
@@ -92,6 +98,9 @@ struct ServingStepResult
     Seconds migration = 0.0;   //!< baseline re-layout overhead
     double maxRelTokens = 0.0; //!< mean over layers of max/mean recv
     bool retuned = false;      //!< LAER applied a fresh layout
+    double kvUtilization = 0.0; //!< KV pool reserved/budget after the
+                                //!< step was planned (0 when disabled)
+    int preemptions = 0;        //!< evictions while planning this step
 };
 
 /** Summary of a full serving run. */
@@ -112,6 +121,11 @@ struct ServingReport
     Seconds meanStepTime = 0.0;
     double meanMaxRelTokens = 0.0; //!< expert-load imbalance proxy
     Seconds migrationTotal = 0.0;
+    Bytes kvBudgetBytes = 0;       //!< pool size; 0 = KV model off
+    std::int64_t preemptions = 0;  //!< recompute-style evictions
+    std::vector<std::int64_t> preemptionsByClass; //!< per SLO class
+    double meanKvUtilization = 0.0;
+    double peakKvUtilization = 0.0;
 };
 
 /**
@@ -131,7 +145,10 @@ class ServingSimulator
      */
     bool step();
 
-    /** Play the configured horizon to completion. */
+    /**
+     * Play the configured horizon to completion.
+     * @return the aggregated report of the finished run.
+     */
     ServingReport run();
 
     /** Current simulated time. */

@@ -14,6 +14,7 @@
 #include "core/stats.hh"
 #include "serve/arrival.hh"
 #include "serve/batcher.hh"
+#include "serve/kv_cache.hh"
 #include "serve/serving_sim.hh"
 #include "topo/cluster.hh"
 
@@ -366,6 +367,107 @@ TEST(ServingSim, RejectsOversubscribedCluster)
     ServingConfig cfg = smallServingConfig(ServingPolicy::LaerServe);
     cfg.capacity = 1; // 2 devices * 1 slot < 8 experts
     EXPECT_THROW(ServingSimulator(tiny, cfg), FatalError);
+}
+
+// ---- KV-cache memory model end to end --------------------------------------
+
+ServingConfig
+kvServingConfig(ServingPolicy policy)
+{
+    ServingConfig cfg = smallServingConfig(policy);
+    // Direct pool sizing (bypassing HBM derivation) so the test
+    // controls memory pressure precisely: room for ~3K cached tokens
+    // against a stream of ~288-token contexts at 40 req/s.
+    cfg.batcher.kvBudgetBytes =
+        3000LL * kvBytesPerToken(cfg.model);
+    cfg.batcher.kvBytesPerToken = kvBytesPerToken(cfg.model);
+    cfg.batcher.kvBlockTokens = 16;
+    cfg.arrival.ratePerSec = 40.0;
+    return cfg;
+}
+
+TEST(ServingSim, KvPressurePreemptsAndConservesTheBudget)
+{
+    const Cluster cluster(2, 4, 300e9, 12.5e9, 212e12);
+    ServingSimulator sim(cluster,
+                         kvServingConfig(ServingPolicy::LaerServe));
+    const ServingReport report = sim.run();
+
+    EXPECT_GT(report.offered, 0);
+    EXPECT_EQ(report.offered, report.completed); // drains despite evictions
+    EXPECT_GT(report.preemptions, 0) << "no memory pressure simulated";
+    EXPECT_GT(report.kvBudgetBytes, 0);
+
+    // Conservation: reserved KV bytes never exceed the budget at any
+    // step of the run.
+    EXPECT_LE(report.peakKvUtilization, 1.0);
+    EXPECT_GT(report.peakKvUtilization, 0.5); // pressure was real
+    EXPECT_LE(report.meanKvUtilization, report.peakKvUtilization);
+    for (const ServingStepResult &s : sim.stepResults()) {
+        EXPECT_GE(s.kvUtilization, 0.0);
+        EXPECT_LE(s.kvUtilization, 1.0);
+    }
+
+    // Per-class counts add up to the total.
+    std::int64_t by_class = 0;
+    for (const std::int64_t c : report.preemptionsByClass)
+        by_class += c;
+    EXPECT_EQ(by_class, report.preemptions);
+    std::int64_t step_sum = 0;
+    for (const ServingStepResult &s : sim.stepResults())
+        step_sum += s.preemptions;
+    EXPECT_EQ(step_sum, report.preemptions);
+}
+
+TEST(ServingSim, KvModelIsDeterministicAcrossRuns)
+{
+    const Cluster cluster(2, 4, 300e9, 12.5e9, 212e12);
+    ServingSimulator a(cluster,
+                       kvServingConfig(ServingPolicy::LaerServe));
+    ServingSimulator b(cluster,
+                       kvServingConfig(ServingPolicy::LaerServe));
+    const ServingReport ra = a.run();
+    const ServingReport rb = b.run();
+    EXPECT_EQ(ra.completed, rb.completed);
+    EXPECT_EQ(ra.preemptions, rb.preemptions);
+    EXPECT_EQ(ra.steps, rb.steps);
+    EXPECT_DOUBLE_EQ(ra.elapsed, rb.elapsed);
+    EXPECT_DOUBLE_EQ(ra.peakKvUtilization, rb.peakKvUtilization);
+    EXPECT_DOUBLE_EQ(ra.goodputTps, rb.goodputTps);
+}
+
+TEST(ServingSim, HbmBudgetDerivesTheKvPool)
+{
+    const Cluster cluster(2, 4, 300e9, 12.5e9, 212e12);
+    ServingConfig cfg = smallServingConfig(ServingPolicy::LaerServe);
+    cfg.hbmPerDevice = 32LL << 30;
+    ServingSimulator sim(cluster, cfg);
+
+    const ServingMemoryBudget mem = servingMemoryBudget(
+        cfg.model, cluster.numDevices(), cfg.capacity, cfg.hbmPerDevice,
+        std::max<TokenCount>(1, cfg.batcher.tokenBudget /
+                                    cluster.numDevices()));
+    const ServingReport report = sim.run();
+    EXPECT_EQ(report.kvBudgetBytes, mem.kvPoolTotal);
+    EXPECT_EQ(report.offered, report.completed);
+
+    // HBM smaller than the resident model state is a config error.
+    ServingConfig tiny = smallServingConfig(ServingPolicy::LaerServe);
+    tiny.hbmPerDevice = 1LL << 30;
+    EXPECT_THROW(ServingSimulator(cluster, tiny), FatalError);
+}
+
+TEST(ServingSim, KvDisabledKeepsLegacyMaxRunning)
+{
+    const Cluster cluster(2, 4, 300e9, 12.5e9, 212e12);
+    ServingConfig cfg = smallServingConfig(ServingPolicy::LaerServe);
+    cfg.batcher.maxRunning = 4; // tight slot count, no KV model
+    ServingSimulator sim(cluster, cfg);
+    const ServingReport report = sim.run();
+    EXPECT_EQ(report.kvBudgetBytes, 0);
+    EXPECT_EQ(report.preemptions, 0);
+    EXPECT_DOUBLE_EQ(report.peakKvUtilization, 0.0);
+    EXPECT_EQ(report.offered, report.completed);
 }
 
 } // namespace
