@@ -1,16 +1,26 @@
 /**
  * @file
- * Serving demo: one bursty serving run per layout policy on a small
- * cluster, with the latency summary and a peek at the first engine
- * steps of the LAER run. The runs carry a 12.75 GiB/device HBM budget,
- * so admission is KV-cache bound (serve/kv_cache.hh) and the summary
- * shows preemptions and pool utilization alongside the latencies.
+ * Serving demo: one bursty serving run per policy on a small cluster,
+ * with the latency summary and a peek at the first engine steps of
+ * the LAER run. The aggregated runs carry a 12.75 GiB/device HBM
+ * budget, so admission is KV-cache bound (serve/kv_cache.hh) and the
+ * summary shows preemptions and pool utilization alongside the
+ * latencies. The disaggregated run splits the cluster into a prefill
+ * and a decode pool and additionally reports the KV bytes it moved
+ * between them.
  *
- *   ./examples/serving_demo
+ *   ./examples/serving_demo [--policy=NAME[,NAME...]] [--csv]
+ *
+ * Policy names: StaticEP, FlexMoE, LAER, Disagg.
  */
 
+#include <algorithm>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "core/cli.hh"
+#include "core/error.hh"
 #include "core/table.hh"
 #include "serve/serving_sim.hh"
 
@@ -36,7 +46,14 @@ demoConfig(laer::ServingPolicy policy)
 
     cfg.batcher.tokenBudget = 16384;
     cfg.batcher.prefillChunk = 1024;
-    cfg.hbmPerDevice = (51LL << 30) / 4; // 12.75 GiB: tight KV pool
+    if (policy == laer::ServingPolicy::Disaggregated) {
+        // Each pool shards the model over half the devices, so the
+        // resident state per device doubles; 25.5 GiB leaves each
+        // pool a KV budget about as tight as the aggregated runs'.
+        cfg.hbmPerDevice = 2 * (51LL << 30) / 4;
+    } else {
+        cfg.hbmPerDevice = (51LL << 30) / 4; // 12.75 GiB: tight KV pool
+    }
 
     cfg.routing.skew = 1.2;
     cfg.routing.drift = 0.98;
@@ -48,9 +65,40 @@ demoConfig(laer::ServingPolicy policy)
 } // namespace
 
 int
-main()
-{
+main(int argc, char **argv)
+try {
     using namespace laer;
+
+    const CliArgs args(argc, argv, {"policy", "csv", "help"});
+    if (args.has("help")) {
+        std::cout << "usage: serving_demo [--policy=NAME[,NAME...]] "
+                     "[--csv]\n  names: StaticEP, FlexMoE, LAER, "
+                     "Disagg\n";
+        return 0;
+    }
+    const bool csv = args.has("csv");
+    const std::vector<std::string> filter = args.getList("policy");
+
+    const std::pair<const char *, ServingPolicy> policies[] = {
+        {"StaticEP", ServingPolicy::StaticEp},
+        {"FlexMoE", ServingPolicy::FlexMoe},
+        {"LAER", ServingPolicy::LaerServe},
+        {"Disagg", ServingPolicy::Disaggregated},
+    };
+    for (const std::string &name : filter) {
+        bool known = false;
+        for (const auto &[label, policy] : policies)
+            known |= name == label;
+        LAER_CHECK(known, "unknown policy '"
+                              << name
+                              << "' (expected StaticEP, FlexMoE, "
+                                 "LAER or Disagg)");
+    }
+    const auto selected = [&filter](const std::string &label) {
+        return filter.empty() ||
+               std::find(filter.begin(), filter.end(), label) !=
+                   filter.end();
+    };
 
     const Cluster cluster(2, 4, 300e9, 12.5e9, 212e12);
     std::cout << "Cluster: " << cluster.describe() << "\n"
@@ -61,14 +109,14 @@ main()
     summary.setHeader({"policy", "completed", "ttft_p50_ms",
                        "ttft_p99_ms", "tpot_p50_ms", "goodput_tok/s",
                        "max_rel_tok", "preempts", "kv_peak",
-                       "retunes"});
-    for (const ServingPolicy policy :
-         {ServingPolicy::StaticEp, ServingPolicy::FlexMoe,
-          ServingPolicy::LaerServe}) {
+                       "xfer_gib", "retunes"});
+    for (const auto &[label, policy] : policies) {
+        if (!selected(label))
+            continue;
         ServingSimulator sim(cluster, demoConfig(policy));
         const ServingReport r = sim.run();
         summary.startRow();
-        summary.cell(servingPolicyName(policy));
+        summary.cell(label);
         summary.cell(r.completed);
         summary.cell(1e3 * r.ttftP50, 1);
         summary.cell(1e3 * r.ttftP99, 1);
@@ -77,30 +125,44 @@ main()
         summary.cell(r.meanMaxRelTokens, 2);
         summary.cell(r.preemptions);
         summary.cell(r.peakKvUtilization, 2);
+        summary.cell(static_cast<double>(r.kvTransferBytes) /
+                         (1LL << 30),
+                     2);
         summary.cell(r.retunes);
     }
-    summary.print(std::cout);
+    if (csv)
+        summary.printCsv(std::cout);
+    else
+        summary.print(std::cout);
 
-    // Narrate the first LAER engine steps.
-    ServingSimulator laer_sim(cluster,
-                              demoConfig(ServingPolicy::LaerServe));
-    laer_sim.run();
-    Table steps("First LAER engine steps");
-    steps.setHeader({"step", "t_ms", "tokens", "prefill", "decode",
-                     "dur_ms", "max_rel_tok", "retuned"});
-    const auto &results = laer_sim.stepResults();
-    for (std::size_t i = 0; i < results.size() && i < 10; ++i) {
-        const ServingStepResult &s = results[i];
-        steps.startRow();
-        steps.cell(static_cast<std::int64_t>(i));
-        steps.cell(1e3 * s.start, 1);
-        steps.cell(s.tokens);
-        steps.cell(s.prefill);
-        steps.cell(s.decode);
-        steps.cell(1e3 * s.duration, 2);
-        steps.cell(s.maxRelTokens, 2);
-        steps.cell(s.retuned ? "yes" : "");
+    if (selected("LAER")) {
+        // Narrate the first LAER engine steps.
+        ServingSimulator laer_sim(cluster,
+                                  demoConfig(ServingPolicy::LaerServe));
+        laer_sim.run();
+        Table steps("First LAER engine steps");
+        steps.setHeader({"step", "t_ms", "tokens", "prefill", "decode",
+                         "dur_ms", "max_rel_tok", "retuned"});
+        const auto &results = laer_sim.stepResults();
+        for (std::size_t i = 0; i < results.size() && i < 10; ++i) {
+            const ServingStepResult &s = results[i];
+            steps.startRow();
+            steps.cell(static_cast<std::int64_t>(i));
+            steps.cell(1e3 * s.start, 1);
+            steps.cell(s.tokens);
+            steps.cell(s.prefill);
+            steps.cell(s.decode);
+            steps.cell(1e3 * s.duration, 2);
+            steps.cell(s.maxRelTokens, 2);
+            steps.cell(s.retuned ? "yes" : "");
+        }
+        if (csv)
+            steps.printCsv(std::cout);
+        else
+            steps.print(std::cout);
     }
-    steps.print(std::cout);
     return 0;
+} catch (const laer::FatalError &err) {
+    std::cerr << "serving_demo: " << err.what() << "\n";
+    return 2;
 }

@@ -1,0 +1,68 @@
+#include "core/cli.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/error.hh"
+
+namespace laer
+{
+
+CliArgs::CliArgs(int argc, const char *const *argv,
+                 const std::vector<std::string> &allowed)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        LAER_CHECK(arg.rfind("--", 0) == 0,
+                   "unexpected argument '" << arg
+                                           << "' (flags start with --)");
+        arg.erase(0, 2);
+        std::string value;
+        const std::size_t eq = arg.find('=');
+        if (eq != std::string::npos) {
+            value = arg.substr(eq + 1);
+            arg.erase(eq);
+        } else if (i + 1 < argc &&
+                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            value = argv[++i];
+        }
+        LAER_CHECK(std::find(allowed.begin(), allowed.end(), arg) !=
+                       allowed.end(),
+                   "unknown flag --" << arg);
+        flags_.emplace_back(arg, value);
+    }
+}
+
+bool
+CliArgs::has(const std::string &name) const
+{
+    for (const auto &[flag, value] : flags_)
+        if (flag == name)
+            return true;
+    return false;
+}
+
+std::string
+CliArgs::get(const std::string &name, const std::string &fallback) const
+{
+    for (const auto &[flag, value] : flags_)
+        if (flag == name)
+            return value;
+    return fallback;
+}
+
+std::vector<std::string>
+CliArgs::getList(const std::string &name) const
+{
+    std::vector<std::string> out;
+    if (!has(name))
+        return out;
+    std::stringstream ss(get(name));
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+} // namespace laer

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal command-line flag parser for the bench and example binaries.
+ *
+ * The binaries stay zero-argument reproducible (every knob has a
+ * default), but sweeps want to run one policy at a time and land
+ * results in machine-readable form without recompiling. Flags are
+ * GNU-ish: `--flag` (boolean), `--flag=value` or `--flag value`.
+ * Unknown flags are an error so typos fail loudly instead of silently
+ * running the default experiment.
+ */
+
+#ifndef LAER_CORE_CLI_HH
+#define LAER_CORE_CLI_HH
+
+#include <string>
+#include <vector>
+
+namespace laer
+{
+
+/** Parsed command line: flags with optional values. */
+class CliArgs
+{
+  public:
+    /**
+     * Parse argv. Every argument must start with `--`; a value is
+     * attached with `=` or as the following non-flag argument.
+     * @param argc     From main().
+     * @param argv     From main().
+     * @param allowed  Flag names (without `--`) the binary accepts;
+     *                 anything else throws FatalError.
+     */
+    CliArgs(int argc, const char *const *argv,
+            const std::vector<std::string> &allowed);
+
+    /** True when `--name` was given (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /**
+     * Value of `--name`, or `fallback` when absent.
+     * @param name      Flag name without the dashes.
+     * @param fallback  Returned when the flag was not given.
+     */
+    std::string get(const std::string &name,
+                    const std::string &fallback = "") const;
+
+    /**
+     * Comma-split value of `--name` (e.g. `--policy=LAER,StaticEP`);
+     * empty when the flag is absent.
+     */
+    std::vector<std::string> getList(const std::string &name) const;
+
+  private:
+    std::vector<std::pair<std::string, std::string>> flags_;
+};
+
+} // namespace laer
+
+#endif // LAER_CORE_CLI_HH

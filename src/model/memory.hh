@@ -22,6 +22,11 @@ namespace laer
 /** Bytes of optimizer state per parameter: fp32 master + Adam m, v. */
 constexpr int kOptimizerBytesPerParam = 12;
 
+/** Host-link (PCIe 4.0 x16-class) unidirectional bandwidth in B/s —
+ * the rate swap-style KV preemption offloads to and restores from
+ * host memory (serve/batcher.hh, PreemptionMode::Swap). */
+constexpr double kHostLinkBw = 32e9;
+
 /** Breakdown of per-device model-state memory. */
 struct ModelStateMemory
 {

@@ -7,6 +7,18 @@
 namespace laer
 {
 
+const char *
+preemptionModeName(PreemptionMode mode)
+{
+    switch (mode) {
+      case PreemptionMode::Recompute:
+        return "recompute";
+      case PreemptionMode::Swap:
+        return "swap";
+    }
+    return "?";
+}
+
 TokenCount
 BatchPlan::totalTokens() const
 {
@@ -135,9 +147,19 @@ ContinuousBatcher::preempt(int index)
 {
     Request victim = running_[static_cast<std::size_t>(index)];
     running_.erase(running_.begin() + index);
-    kv_->release(victim.id);
-    victim.restoring = true;
-    victim.prefillDone = 0;
+    if (config_.preemptionMode == PreemptionMode::Swap) {
+        // The reservation moves to host intact: prefill progress (and
+        // the cache behind it) survives, and re-admission restores
+        // exactly the bytes parked here.
+        victim.swappedBytes = kv_->reservedOf(victim.id);
+        victim.swapped = true;
+        swapOutBytes_ += victim.swappedBytes;
+        kv_->release(victim.id);
+    } else {
+        kv_->release(victim.id);
+        victim.restoring = true;
+        victim.prefillDone = 0;
+    }
     ++victim.preemptions;
     preemptedLog_.push_back(victim.sloClass);
     ++totalPreemptions_;
@@ -243,9 +265,11 @@ ContinuousBatcher::nextBatch()
     // A head blocked on memory halts admission for EVERY later class
     // too — otherwise lower-priority requests would keep sniping the
     // bytes the higher-priority head is waiting for and starve it.
+    // Paused admission (downstream back-pressure) skips this phase
+    // entirely; running sequences above were still scheduled.
     bool memory_blocked = false;
     for (auto &queue : waiting_) {
-        if (memory_blocked)
+        if (admissionPaused_ || memory_blocked)
             break;
         while (!queue.empty() && budget >= 1) {
             Request &head = queue.front();
@@ -260,13 +284,29 @@ ContinuousBatcher::nextBatch()
             }
             Request r = head;
             queue.pop_front();
+            if (r.swapped) {
+                // Host restore: the engine charges the PCIe time for
+                // these bytes against this step.
+                swapInBytes_ += r.swappedBytes;
+                r.swappedBytes = 0;
+                r.swapped = false;
+            }
             BatchEntry e;
             e.requestId = r.id;
-            e.prefillTokens = std::min(
-                {r.prefillTarget() - r.prefillDone,
-                 config_.prefillChunk, budget});
+            const TokenCount remaining =
+                r.prefillTarget() - r.prefillDone;
+            if (remaining > 0) {
+                e.prefillTokens =
+                    std::min({remaining, config_.prefillChunk, budget});
+                budget -= e.prefillTokens;
+            } else {
+                // A context entering with its prefill already done (a
+                // swapped-in decoder, or a sequence migrated from a
+                // prefill pool) resumes decoding immediately.
+                e.decodeTokens = 1;
+                budget -= 1;
+            }
             plan.entries.push_back(e);
-            budget -= e.prefillTokens;
             running_.push_back(r);
         }
     }
@@ -338,6 +378,49 @@ ContinuousBatcher::takePreemptedClasses()
     std::vector<int> out;
     out.swap(preemptedLog_);
     return out;
+}
+
+bool
+ContinuousBatcher::canAdmitContext(TokenCount context) const
+{
+    if (kv_)
+        return kv_->bytesFor(context) + waitingKvDemand() <=
+               kv_->freeBytes();
+    return runningCount() + waitingCount() < config_.maxRunning;
+}
+
+Bytes
+ContinuousBatcher::waitingKvDemand() const
+{
+    if (!kv_)
+        return 0;
+    Bytes demand = 0;
+    for (const auto &queue : waiting_)
+        for (const Request &r : queue)
+            demand += kv_->bytesFor(r.contextLength());
+    return demand;
+}
+
+Bytes
+ContinuousBatcher::kvBytesFor(TokenCount context) const
+{
+    return kv_ ? kv_->bytesFor(context) : 0;
+}
+
+Bytes
+ContinuousBatcher::takeSwapOutBytes()
+{
+    const Bytes bytes = swapOutBytes_;
+    swapOutBytes_ = 0;
+    return bytes;
+}
+
+Bytes
+ContinuousBatcher::takeSwapInBytes()
+{
+    const Bytes bytes = swapInBytes_;
+    swapInBytes_ = 0;
+    return bytes;
 }
 
 const Request *

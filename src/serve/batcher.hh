@@ -20,14 +20,25 @@
  *    only when the KvCachePool can reserve blocks for its context,
  *    every decode step grows the running sequence's reservation, and
  *    when growth exhausts the pool the batcher preempts the
- *    lowest-priority (highest class id), youngest running sequence —
- *    recompute-style: its KV is dropped and it re-queues at the FRONT
- *    of its class, replaying prompt + generated tokens as prefill on
- *    re-admission. Growth never displaces a higher-priority sequence
- *    (the grower yields instead), and a head-of-queue request blocked
- *    on memory halts admission for every lower-priority class so its
- *    bytes cannot be sniped. `maxRunning` is ignored in this mode;
+ *    lowest-priority (highest class id), youngest running sequence.
+ *    Growth never displaces a higher-priority sequence (the grower
+ *    yields instead), and a head-of-queue request blocked on memory
+ *    halts admission for every lower-priority class so its bytes
+ *    cannot be sniped. `maxRunning` is ignored in this mode;
  *    simulated HBM is the only concurrency limit.
+ *
+ * Two preemption disciplines exist (PreemptionMode):
+ *
+ *  - Recompute (default, vLLM-style): the victim's KV is dropped, it
+ *    re-queues at the FRONT of its class, and on re-admission it
+ *    replays prompt + generated tokens as prefill to rebuild the
+ *    cache.
+ *  - Swap: the victim's KV reservation is offloaded to host memory
+ *    (the batcher records the bytes; the engine charges the PCIe
+ *    time) and restored on re-admission — no recompute work, but the
+ *    swap traffic lands on the step timeline. The victim keeps its
+ *    prefill progress and resumes decoding the step after
+ *    re-admission.
  *
  * The batch is data-parallel sharded across devices, so the per-step
  * token budget doubles as the per-device expert capacity knob: with N
@@ -50,6 +61,16 @@
 namespace laer
 {
 
+/** What happens to a sequence evicted under KV pressure. */
+enum class PreemptionMode
+{
+    Recompute, //!< drop KV; replay prompt + generated tokens as prefill
+    Swap,      //!< offload KV to host; restore bytes on re-admission
+};
+
+/** Printable preemption-mode name. */
+const char *preemptionModeName(PreemptionMode mode);
+
 /** Scheduler knobs. */
 struct BatcherConfig
 {
@@ -70,6 +91,10 @@ struct BatcherConfig
     Bytes kvBudgetBytes = 0;
     Bytes kvBytesPerToken = 0;     //!< required when kvBudgetBytes > 0
     TokenCount kvBlockTokens = 16; //!< paged-allocation granularity
+
+    /** Eviction discipline under KV pressure; Recompute is the
+     * default and the only one exercised when the KV model is off. */
+    PreemptionMode preemptionMode = PreemptionMode::Recompute;
 };
 
 /** Work scheduled for one request in one engine step. */
@@ -144,6 +169,45 @@ class ContinuousBatcher
      */
     std::vector<int> takePreemptedClasses();
 
+    /**
+     * Pause or resume the admission of waiting requests. While paused
+     * nextBatch() still schedules running sequences (decode and
+     * prefill continuations) but admits nothing new — the back-pressure
+     * valve a downstream pool closes when its KV pool is full.
+     */
+    void setAdmissionPaused(bool paused) { admissionPaused_ = paused; }
+
+    /** True while admission is paused (see setAdmissionPaused). */
+    bool admissionPaused() const { return admissionPaused_; }
+
+    /**
+     * Could a sequence whose current context is `context` tokens join
+     * the back of the queue and still be admitted promptly? True when
+     * the KV pool's free bytes cover the context ON TOP of everything
+     * already waiting (admission is FIFO, so the queue's demand is
+     * committed first) — or, without the KV model, when a maxRunning
+     * slot remains after the queue. Used by the disaggregated
+     * simulator to decide when a migrated context may enter the
+     * decode pool; false is the back-pressure signal.
+     */
+    bool canAdmitContext(TokenCount context) const;
+
+    /** Block-rounded KV bytes the waiting queues will reserve when
+     * admitted (their current contexts); 0 when the KV model is off. */
+    Bytes waitingKvDemand() const;
+
+    /**
+     * KV bytes a context of `context` tokens reserves (block-rounded).
+     * @return the reservation size; 0 when the KV model is disabled.
+     */
+    Bytes kvBytesFor(TokenCount context) const;
+
+    /** Drain KV bytes swapped OUT to host since the last call. */
+    Bytes takeSwapOutBytes();
+
+    /** Drain KV bytes swapped IN from host since the last call. */
+    Bytes takeSwapInBytes();
+
     /** Look a live (waiting or running) request up by id. */
     const Request *find(int id) const;
 
@@ -191,8 +255,10 @@ class ContinuousBatcher
     int pickVictim(const std::vector<int> &protected_ids,
                    int grower_class) const;
 
-    /** Evict running_[index]: drop its KV, reset its prefill progress
-     * for recompute, and re-queue it at the front of its class. */
+    /** Evict running_[index] per the configured PreemptionMode
+     * (recompute: drop KV and reset prefill progress; swap: offload
+     * the reservation to host) and re-queue it at the front of its
+     * class. */
     void preempt(int index);
 
     BatcherConfig config_;
@@ -202,6 +268,9 @@ class ContinuousBatcher
     std::vector<Request> finished_;
     std::vector<int> preemptedLog_; //!< classes since last drain
     std::int64_t totalPreemptions_ = 0;
+    bool admissionPaused_ = false;
+    Bytes swapOutBytes_ = 0; //!< host offload since last drain
+    Bytes swapInBytes_ = 0;  //!< host restore since last drain
 };
 
 } // namespace laer

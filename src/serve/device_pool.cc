@@ -1,0 +1,67 @@
+#include "serve/device_pool.hh"
+
+#include <algorithm>
+
+#include "comm/collectives.hh"
+#include "core/error.hh"
+
+namespace laer
+{
+
+DevicePoolSlice
+wholeClusterSlice(const Cluster &cluster, const std::string &name)
+{
+    return DevicePoolSlice(name, 0, cluster.numDevices(), cluster);
+}
+
+std::vector<DevicePoolSlice>
+partitionCluster(const Cluster &cluster, const std::vector<int> &counts,
+                 const std::vector<std::string> &names)
+{
+    LAER_CHECK(!counts.empty(), "partition needs at least one slice");
+    LAER_CHECK(counts.size() == names.size(),
+               "need one name per slice (" << counts.size() << " counts, "
+                                           << names.size() << " names)");
+    int total = 0;
+    for (const int c : counts) {
+        LAER_CHECK(c >= 1, "every slice needs at least one device");
+        total += c;
+    }
+    LAER_CHECK(total == cluster.numDevices(),
+               "slice sizes sum to " << total << " but the cluster has "
+                                     << cluster.numDevices()
+                                     << " devices");
+
+    std::vector<DevicePoolSlice> slices;
+    slices.reserve(counts.size());
+    DeviceId first = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        slices.emplace_back(names[i], first, counts[i],
+                            cluster.contiguousSlice(first, counts[i]));
+        first += counts[i];
+    }
+    return slices;
+}
+
+Seconds
+kvTransferTime(const Cluster &cluster, const DevicePoolSlice &src,
+               const DevicePoolSlice &dst, Bytes bytes)
+{
+    LAER_CHECK(bytes >= 0, "negative transfer volume");
+    LAER_CHECK(src.count >= 1 && dst.count >= 1,
+               "transfer between empty pools");
+    // The KV is sharded across the source pool; each source device
+    // streams its shard to a peer in the destination, so min(|src|,
+    // |dst|) links drain in parallel. The boundary devices decide the
+    // link class: pools carved from one node move KV over NVLink,
+    // pools on different nodes over the NIC.
+    const int links = std::min(src.count, dst.count);
+    const double link_bw =
+        cluster.sameNode(src.endDevice() - 1, dst.firstDevice)
+            ? cluster.intraBw()
+            : cluster.interBw();
+    return kCollectiveAlpha +
+           static_cast<double>(bytes) / (links * link_bw);
+}
+
+} // namespace laer

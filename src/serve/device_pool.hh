@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Device-pool slices of a cluster and the inter-pool KV transfer cost.
+ *
+ * A serving simulation no longer assumes one homogeneous device pool:
+ * the cluster is partitioned into disjoint, contiguous
+ * `DevicePoolSlice`s, each owning its device range, a standalone
+ * sub-`Cluster` view of the topology (so All-to-All pricing and the
+ * memory budget see only the pool's devices), and — through the
+ * `ServingEngine` built on top — its own `KvCachePool` and token
+ * budget. Prefill/decode disaggregation is two such slices; the
+ * classic aggregated engine is the single whole-cluster slice.
+ *
+ * When a sequence migrates between pools (prefill completion hands the
+ * context to the decode pool), its cached KV —
+ * contextLength * kvBytesPerToken bytes — crosses the wire. The
+ * transfer is priced like the `fsep/volume.hh` collectives: the KV is
+ * sharded over the source pool, every source device streams its shard
+ * to a peer in the destination pool in parallel, and the transfer
+ * drains at min(srcDevices, dstDevices) concurrent links of the
+ * boundary bandwidth (inter-node unless both pools share one node).
+ */
+
+#ifndef LAER_SERVE_DEVICE_POOL_HH
+#define LAER_SERVE_DEVICE_POOL_HH
+
+#include <string>
+#include <vector>
+
+#include "core/types.hh"
+#include "topo/cluster.hh"
+
+namespace laer
+{
+
+/**
+ * A contiguous slice of the cluster's devices owned by one serving
+ * engine. `topo` is the slice's standalone two-level topology view,
+ * used for pricing the engine's collectives and compute.
+ */
+struct DevicePoolSlice
+{
+    std::string name;       //!< "serve", "prefill", "decode", ...
+    DeviceId firstDevice;   //!< first global device id of the slice
+    int count;              //!< devices in the slice
+    Cluster topo;           //!< sub-cluster view of the slice
+
+    DevicePoolSlice(std::string pool_name, DeviceId first, int n,
+                    Cluster sub)
+        : name(std::move(pool_name)), firstDevice(first), count(n),
+          topo(std::move(sub))
+    {
+    }
+
+    /** Devices in this slice. */
+    int numDevices() const { return count; }
+
+    /** One past the last global device id of the slice. */
+    DeviceId endDevice() const { return firstDevice + count; }
+
+    /** True when global device id `d` belongs to this slice. */
+    bool contains(DeviceId d) const
+    {
+        return d >= firstDevice && d < endDevice();
+    }
+};
+
+/** The whole cluster as a single pool named `name`. */
+DevicePoolSlice wholeClusterSlice(const Cluster &cluster,
+                                  const std::string &name = "serve");
+
+/**
+ * Partition the cluster into contiguous slices of the given sizes.
+ * Conservation and disjointness hold by construction: the counts must
+ * be positive and sum to the cluster's device count, and slice i
+ * starts where slice i-1 ended. Each slice must be node-regular
+ * (whole nodes, or contained in one node) so it has a sub-cluster
+ * geometry — see Cluster::contiguousSlice.
+ *
+ * @param cluster  Topology to partition.
+ * @param counts   Devices per slice, in device-id order.
+ * @param names    One name per slice (same length as counts).
+ * @return the slices, in device-id order.
+ */
+std::vector<DevicePoolSlice>
+partitionCluster(const Cluster &cluster, const std::vector<int> &counts,
+                 const std::vector<std::string> &names);
+
+/**
+ * Seconds to move `bytes` of KV cache from pool `src` to pool `dst`:
+ * one collective-launch alpha plus the bytes drained over
+ * min(src, dst) parallel links at the boundary bandwidth — the
+ * inter-node (NIC) rate unless both slices live inside one node.
+ *
+ * @param cluster  Topology both slices were cut from.
+ * @param src      Source pool (holds the KV, sharded).
+ * @param dst      Destination pool.
+ * @param bytes    KV bytes transferred (contextLength * kvBytesPerToken).
+ * @return the wire time in seconds; 0 bytes still pay the alpha.
+ */
+Seconds kvTransferTime(const Cluster &cluster, const DevicePoolSlice &src,
+                       const DevicePoolSlice &dst, Bytes bytes);
+
+} // namespace laer
+
+#endif // LAER_SERVE_DEVICE_POOL_HH

@@ -1,0 +1,349 @@
+#include "serve/engine.hh"
+
+#include <algorithm>
+
+#include "comm/collectives.hh"
+#include "core/error.hh"
+#include "core/stats.hh"
+#include "planner/lite_routing.hh"
+#include "planner/relocation.hh"
+#include "planner/replica_alloc.hh"
+#include "runtime/iteration.hh"
+#include "sim/engine.hh"
+
+namespace laer
+{
+
+const char *
+servingPolicyName(ServingPolicy policy)
+{
+    switch (policy) {
+      case ServingPolicy::LaerServe:
+        return "LAER";
+      case ServingPolicy::StaticEp:
+        return "StaticEP";
+      case ServingPolicy::FlexMoe:
+        return "FlexMoE";
+      case ServingPolicy::Disaggregated:
+        return "Disagg";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** EP group structure (only meaningful for the StaticEp policy). */
+EpGrouping
+makeGrouping(const Cluster &topo, const EngineConfig &config)
+{
+    if (config.policy != ServingPolicy::StaticEp)
+        return EpGrouping(topo, 1, false);
+    const int experts = config.model.numExperts;
+    LAER_CHECK(experts % config.capacity == 0,
+               "StaticEP needs capacity to divide the expert count");
+    const int ep_degree = experts / config.capacity;
+    LAER_CHECK(topo.numDevices() % ep_degree == 0,
+               "StaticEP needs the EP degree to divide the pool");
+    return EpGrouping(topo, ep_degree, true);
+}
+
+/** Load-oblivious even starting layout for the dynamic policies. */
+ExpertLayout
+evenStartLayout(const Cluster &topo, int n_experts, int capacity)
+{
+    const std::vector<TokenCount> flat(n_experts, 1);
+    return expertRelocation(
+        topo, evenAllocation(flat, topo.numDevices(), capacity), flat,
+        capacity);
+}
+
+/** Transpose a volume matrix (combine reverses dispatch). */
+VolumeMatrix
+transposeVolume(const VolumeMatrix &volume)
+{
+    const std::size_t n = volume.size();
+    VolumeMatrix out(n, std::vector<Bytes>(n, 0));
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t k = 0; k < n; ++k)
+            out[k][i] = volume[i][k];
+    return out;
+}
+
+} // namespace
+
+ServingEngine::ServingEngine(const DevicePoolSlice &slice,
+                             const EngineConfig &config)
+    : slice_(slice), config_(config), batcher_(config.batcher),
+      grouping_(makeGrouping(slice_.topo, config_))
+{
+    LAER_CHECK(config_.policy != ServingPolicy::Disaggregated,
+               "Disaggregated is a simulator topology, not a pool "
+               "layout policy");
+    LAER_CHECK(config_.batcher.numDevices == slice_.numDevices(),
+               "batcher sized for " << config_.batcher.numDevices
+                                    << " devices but the pool holds "
+                                    << slice_.numDevices());
+    LAER_CHECK(config_.hostLinkBw > 0,
+               "host-link bandwidth must be positive");
+    const int experts = config_.model.numExperts;
+    for (int l = 0; l < config_.simulatedLayers; ++l) {
+        RoutingModel m = config_.routing;
+        m.seed = config_.seed + 7919ULL * static_cast<std::uint64_t>(l);
+        generators_.emplace_back(m);
+        aggRouting_.emplace_back(slice_.numDevices(), experts);
+    }
+
+    switch (config_.policy) {
+      case ServingPolicy::StaticEp:
+        layouts_.assign(config_.simulatedLayers,
+                        staticEpLayout(slice_.topo, experts, grouping_));
+        break;
+      case ServingPolicy::LaerServe:
+        layouts_.assign(config_.simulatedLayers,
+                        evenStartLayout(slice_.topo, experts,
+                                        config_.capacity));
+        break;
+      case ServingPolicy::FlexMoe: {
+        FlexMoeConfig fc;
+        fc.capacity = config_.capacity;
+        fc.maxMovesPerStep = config_.flexMaxMoves;
+        fc.expertBytes = config_.model.expertParamBytes();
+        fc.cost = config_.tuner.cost;
+        for (int l = 0; l < config_.simulatedLayers; ++l) {
+            flexPlanners_.push_back(std::make_unique<FlexMoePlanner>(
+                slice_.topo, experts, fc));
+            layouts_.push_back(flexPlanners_.back()->layout());
+        }
+        break;
+      }
+      case ServingPolicy::Disaggregated:
+        break; // rejected above
+    }
+}
+
+ServingEngine::~ServingEngine() = default;
+
+void
+ServingEngine::setLayouts(const std::vector<ExpertLayout> &layouts)
+{
+    LAER_CHECK(layouts.size() == layouts_.size(),
+               "layout layer count mismatch");
+    for (const ExpertLayout &layout : layouts)
+        LAER_CHECK(layout.numDevices() == slice_.numDevices() &&
+                       layout.numExperts() == config_.model.numExperts,
+                   "adopted layout does not match the pool geometry");
+    layouts_ = layouts;
+}
+
+void
+ServingEngine::addExternalRouting(
+    const std::vector<RoutingMatrix> &routing)
+{
+    LAER_CHECK(routing.size() == aggRouting_.size(),
+               "external routing layer count mismatch");
+    for (int l = 0; l < config_.simulatedLayers; ++l) {
+        LAER_CHECK(routing[l].numDevices() == slice_.numDevices() &&
+                       routing[l].numExperts() ==
+                           config_.model.numExperts,
+                   "external routing does not match the pool geometry");
+        for (DeviceId i = 0; i < slice_.numDevices(); ++i)
+            for (ExpertId j = 0; j < config_.model.numExperts; ++j)
+                aggRouting_[l].at(i, j) += routing[l].at(i, j);
+    }
+}
+
+Seconds
+ServingEngine::updateLayouts(const std::vector<RoutingMatrix> &routing,
+                             ServingStepResult &result)
+{
+    switch (config_.policy) {
+      case ServingPolicy::StaticEp:
+        return 0.0;
+
+      case ServingPolicy::LaerServe: {
+        // Asynchronous re-tune from the PREVIOUS window's aggregated
+        // routing (paper Fig. 7): the CPU solver works off observed
+        // traffic while steps keep executing, and FSEP restores the
+        // new replicas from parameter shards without a stall. A
+        // follower engine (shared-layout disaggregation) skips the
+        // tune and waits for setLayouts().
+        if (config_.tuningEnabled && stepIndex_ > 0 &&
+            stepIndex_ % config_.retunePeriod == 0) {
+            for (int l = 0; l < config_.simulatedLayers; ++l) {
+                const LayoutDecision decision = tuneExpertLayout(
+                    slice_.topo, aggRouting_[l], config_.tuner);
+                layouts_[l] = decision.layout;
+                aggRouting_[l] = RoutingMatrix(
+                    slice_.numDevices(), config_.model.numExperts);
+            }
+            result.retuned = true;
+            ++retunes_;
+        }
+        for (int l = 0; l < config_.simulatedLayers; ++l)
+            for (DeviceId i = 0; i < slice_.numDevices(); ++i)
+                for (ExpertId j = 0; j < config_.model.numExperts; ++j)
+                    aggRouting_[l].at(i, j) += routing[l].at(i, j);
+        return 0.0;
+      }
+
+      case ServingPolicy::FlexMoe: {
+        // Incremental adjustment; the migration time lands on the
+        // serving critical path (no FSEP to hide behind).
+        Seconds migration = 0.0;
+        for (int l = 0; l < config_.simulatedLayers; ++l) {
+            migration += flexPlanners_[l]->update(routing[l])
+                             .migrationTime;
+            layouts_[l] = flexPlanners_[l]->layout();
+        }
+        return migration;
+      }
+
+      case ServingPolicy::Disaggregated:
+        break; // unreachable: rejected at construction
+    }
+    return 0.0;
+}
+
+ServingStepResult
+ServingEngine::executeStep(const BatchPlan &plan, Seconds start)
+{
+    const Cluster &topo = slice_.topo;
+    const int n = topo.numDevices();
+    const int layers = config_.simulatedLayers;
+    const ModelConfig &model = config_.model;
+
+    ServingStepResult res;
+    res.start = start;
+    res.tokens = plan.totalTokens();
+    res.prefill = plan.prefillTokens();
+    res.decode = plan.decodeTokens();
+
+    // Data-parallel batch shard: spread tokens over devices, rotating
+    // the remainder so no device systematically runs long.
+    std::vector<TokenCount> share(n, res.tokens / n);
+    for (TokenCount i = 0; i < res.tokens % n; ++i)
+        share[(stepIndex_ + static_cast<int>(i)) % n] += 1;
+
+    // Per-layer gating under the drifting popularity model.
+    lastRouting_.clear();
+    lastRouting_.reserve(layers);
+    for (auto &gen : generators_)
+        lastRouting_.push_back(gen.nextForTokens(share));
+    const std::vector<RoutingMatrix> &routing = lastRouting_;
+
+    res.migration = updateLayouts(routing, res);
+
+    std::vector<RoutingPlan> plans;
+    plans.reserve(layers);
+    for (int l = 0; l < layers; ++l) {
+        plans.push_back(config_.policy == ServingPolicy::StaticEp
+                            ? staticEpRouting(routing[l], grouping_,
+                                              layouts_[l])
+                            : liteRouting(topo, routing[l],
+                                          layouts_[l]));
+    }
+
+    // Attention + gate work of the step, sharded evenly (the batch is
+    // data parallel; only expert work is layout dependent). Prefill
+    // tokens attend over their prompt, decode tokens over the full
+    // running context. Sequences emitting a token this step also pay
+    // one LM-head forward.
+    Flops attn_flops = 0.0;
+    TokenCount sampled = 0;
+    for (const BatchEntry &e : plan.entries) {
+        const Request *r = batcher_.find(e.requestId);
+        LAER_ASSERT(r != nullptr, "planned request vanished");
+        if (e.prefillTokens > 0) {
+            attn_flops += static_cast<double>(e.prefillTokens) *
+                          model.attnFlopsPerToken(
+                              static_cast<int>(r->prefillTarget()));
+            // Completing the (re)prefill emits a token only when the
+            // first token has not been produced yet; a KV recompute
+            // after preemption replays tokens already delivered.
+            if (r->prefillDone + e.prefillTokens >= r->prefillTarget() &&
+                r->firstTokenTime < 0.0)
+                ++sampled;
+        } else {
+            attn_flops += model.attnFlopsPerToken(
+                static_cast<int>(r->contextLength()));
+            ++sampled;
+        }
+    }
+    attn_flops += static_cast<double>(res.tokens) * 2.0 *
+                  model.numExperts * model.hiddenDim;
+    const Seconds attn_dur = attn_flops / n / topo.computeFlops();
+
+    // Timeline: per layer, attention -> dispatch A2A (barrier) ->
+    // expert FFN -> combine A2A (barrier), forward only.
+    SimEngine eng(n);
+    std::vector<TaskId> prev(n, -1);
+    std::vector<double> imbalance;
+    for (int l = 0; l < layers; ++l) {
+        const VolumeMatrix vol =
+            plans[l].dispatchVolume(model.tokenBytes());
+        const Seconds t_disp =
+            kCollectiveAlpha + a2aBottleneckTime(topo, vol);
+        const Seconds t_comb =
+            kCollectiveAlpha +
+            a2aBottleneckTime(topo, transposeVolume(vol));
+        const std::vector<TokenCount> recv = plans[l].receivedTokens();
+        std::vector<double> recv_d(recv.begin(), recv.end());
+        imbalance.push_back(imbalanceFactor(recv_d));
+
+        std::vector<TaskId> attn_ids(n), disp_ids(n), expert_ids(n);
+        for (DeviceId d = 0; d < n; ++d) {
+            const std::vector<TaskId> deps =
+                prev[d] < 0 ? std::vector<TaskId>{}
+                            : std::vector<TaskId>{prev[d]};
+            attn_ids[d] = eng.addTask("attn", d, StreamKind::Compute,
+                                      attn_dur, deps, "attn");
+        }
+        for (DeviceId d = 0; d < n; ++d)
+            disp_ids[d] = eng.addTask("dispatch", d,
+                                      StreamKind::Dispatch, t_disp,
+                                      attn_ids, "a2a");
+        for (DeviceId d = 0; d < n; ++d) {
+            const Seconds dur = static_cast<double>(recv[d]) *
+                                model.expertFlopsPerToken() /
+                                topo.computeFlops();
+            expert_ids[d] = eng.addTask("expert", d,
+                                        StreamKind::Compute, dur,
+                                        {disp_ids[d]}, "expert");
+        }
+        for (DeviceId d = 0; d < n; ++d)
+            prev[d] = eng.addTask("combine", d, StreamKind::Dispatch,
+                                  t_comb, expert_ids, "a2a");
+    }
+    eng.run();
+
+    const double layer_scale =
+        static_cast<double>(model.layers) / layers;
+    const Seconds head = lmHeadForwardTime(model, sampled, 1,
+                                           topo.computeFlops());
+    res.duration = eng.makespan() * layer_scale + head +
+                   config_.stepOverhead + res.migration;
+
+    // Swap-style preemption traffic recorded while planning this step
+    // drains over the host link and serialises with the step.
+    res.swapOutBytes = batcher_.takeSwapOutBytes();
+    res.swapInBytes = batcher_.takeSwapInBytes();
+    res.swapTime = static_cast<double>(res.swapOutBytes +
+                                       res.swapInBytes) /
+                   config_.hostLinkBw;
+    res.duration += res.swapTime;
+
+    const auto busy = eng.categoryBusyPerDevice();
+    const auto busyOf = [&busy](const char *key) {
+        const auto it = busy.find(key);
+        return it == busy.end() ? 0.0 : it->second;
+    };
+    res.a2aBusy = busyOf("a2a") * layer_scale;
+    res.expertBusy = busyOf("expert") * layer_scale;
+    res.othersBusy = busyOf("attn") * layer_scale;
+    res.maxRelTokens = mean(imbalance);
+    ++stepIndex_;
+    return res;
+}
+
+} // namespace laer

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * ServingEngine — the admit/step/preempt core of the serving
+ * simulator, bound to one device pool.
+ *
+ * PR 1-2 fused scheduling, layout policy, and step pricing inside
+ * `ServingSimulator` against a single homogeneous cluster. This layer
+ * extracts that core so a simulation owns N engines, each bound to a
+ * `DevicePoolSlice`: its own device list and sub-topology, its own
+ * `ContinuousBatcher` (token budget + `KvCachePool`), its own routing
+ * generators, and optionally its own LAER layout-tuner instance. The
+ * classic aggregated policies run one whole-cluster engine;
+ * prefill/decode disaggregation runs two.
+ *
+ * One engine step is: plan (batcher schedules under the pool's token
+ * budget, resolving KV pressure), execute (gate the step's tokens,
+ * refresh the pool's expert layout per policy, price attention /
+ * All-to-All / expert FFN on the pool's sub-cluster with the
+ * discrete-event engine), commit (advance request progress at the
+ * step's finish time). Swap-style preemption traffic recorded by the
+ * batcher is charged here at the host-link bandwidth.
+ */
+
+#ifndef LAER_SERVE_ENGINE_HH
+#define LAER_SERVE_ENGINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "baselines/flexmoe.hh"
+#include "baselines/static_ep.hh"
+#include "model/config.hh"
+#include "model/memory.hh"
+#include "planner/layout_tuner.hh"
+#include "serve/batcher.hh"
+#include "serve/device_pool.hh"
+#include "serve/request.hh"
+#include "trace/routing_generator.hh"
+
+namespace laer
+{
+
+/** Expert-placement / engine-topology policies compared by the
+ * serving benches. The first three run one whole-cluster engine;
+ * Disaggregated splits the cluster into a prefill and a decode pool
+ * (each running a per-pool layout policy). */
+enum class ServingPolicy
+{
+    LaerServe,     //!< async layout tuner re-runs on live routing
+    StaticEp,      //!< fixed vanilla EP placement
+    FlexMoe,       //!< incremental adjustment with migration penalty
+    Disaggregated, //!< prefill/decode pools with KV transfer hand-off
+};
+
+/** Printable policy name. */
+const char *servingPolicyName(ServingPolicy policy);
+
+/** Timing/accounting of one engine step. */
+struct ServingStepResult
+{
+    Seconds start = 0.0;       //!< simulated step start time
+    Seconds duration = 0.0;    //!< end-to-end step seconds
+    TokenCount tokens = 0;     //!< scheduled tokens (prefill + decode)
+    TokenCount prefill = 0;
+    TokenCount decode = 0;
+    Seconds a2aBusy = 0.0;     //!< dispatch+combine busy per device
+    Seconds expertBusy = 0.0;  //!< expert FFN busy per device (mean)
+    Seconds othersBusy = 0.0;  //!< attention/gate busy per device
+    Seconds migration = 0.0;   //!< baseline re-layout overhead
+    double maxRelTokens = 0.0; //!< mean over layers of max/mean recv
+    bool retuned = false;      //!< LAER applied a fresh layout
+    double kvUtilization = 0.0; //!< KV pool reserved/budget after the
+                                //!< step was planned (0 when disabled)
+    int preemptions = 0;        //!< evictions while planning this step
+    int pool = 0;               //!< engine index the step ran on
+    Bytes swapOutBytes = 0;     //!< KV offloaded to host this step
+    Bytes swapInBytes = 0;      //!< KV restored from host this step
+    Seconds swapTime = 0.0;     //!< host-link seconds in `duration`
+};
+
+/** Fully resolved configuration of one engine (the simulator derives
+ * it from ServingConfig per pool: counts, budgets and seeds are the
+ * pool's own). */
+struct EngineConfig
+{
+    ModelConfig model;          //!< validated by the simulator
+    ServingPolicy policy = ServingPolicy::LaerServe; //!< layout policy
+                                //!< of this pool (not Disaggregated)
+    int capacity = 2;           //!< C, expert slots per device
+    int simulatedLayers = 4;    //!< MoE layers carried through the DES
+    Seconds stepOverhead = 2e-3; //!< scheduler + launch cost per step
+    BatcherConfig batcher;      //!< resolved for the pool (numDevices,
+                                //!< KV budget, token budget)
+    RoutingModel routing;       //!< resolved for the pool's device count
+    int retunePeriod = 16;      //!< LAER re-tune cadence, in steps
+    TunerConfig tuner;          //!< LAER planner knobs
+    int flexMaxMoves = 2;       //!< FlexMoE adjustments per step
+    std::uint64_t seed = 42;    //!< routing-generator seed base
+    /** False for the follower pool of a shared-layout disaggregated
+     * run: the engine never re-tunes on its own and expects layouts
+     * via setLayouts(). */
+    bool tuningEnabled = true;
+    double hostLinkBw = kHostLinkBw; //!< PCIe rate for swap charging
+};
+
+/**
+ * One serving engine: a continuous batcher plus the layout-policy
+ * state of its device pool, stepping on the pool's sub-topology. The
+ * owning simulator drives the cycle planStep() -> executeStep() ->
+ * commitStep() and moves requests in (enqueue) and out (takeFinished).
+ */
+class ServingEngine
+{
+  public:
+    /**
+     * @param slice   Device pool this engine owns (copied).
+     * @param config  Resolved engine configuration.
+     */
+    ServingEngine(const DevicePoolSlice &slice, const EngineConfig &config);
+    ~ServingEngine();
+
+    /** Admit a request into the pool's waiting queues. */
+    void enqueue(const Request &request) { batcher_.enqueue(request); }
+
+    /** True while any request is waiting or running in this pool. */
+    bool hasWork() const { return batcher_.hasWork(); }
+
+    /**
+     * Plan the next engine step (KV preemption resolves here). May be
+     * empty while admission is paused by back-pressure.
+     */
+    BatchPlan planStep() { return batcher_.nextBatch(); }
+
+    /**
+     * Price a planned step on the pool's sub-cluster: gate the tokens,
+     * refresh the pool's layouts per the policy, lay the step out on
+     * the discrete-event engine, and charge swap traffic at the
+     * host-link bandwidth.
+     * @param plan   Non-empty plan from the last planStep().
+     * @param start  Simulated step start time.
+     * @return the step's timing/accounting (pool index not yet set).
+     */
+    ServingStepResult executeStep(const BatchPlan &plan, Seconds start);
+
+    /** Commit a step that finished at `finish_time`. */
+    void commitStep(const BatchPlan &plan, Seconds finish_time)
+    {
+        batcher_.applyStep(plan, finish_time);
+    }
+
+    /** Drain requests completed since the last call. */
+    std::vector<Request> takeFinished()
+    {
+        return batcher_.takeFinished();
+    }
+
+    /** Drain SLO classes of preemptions since the last call. */
+    std::vector<int> takePreemptedClasses()
+    {
+        return batcher_.takePreemptedClasses();
+    }
+
+    /** The pool's scheduler (KV accessors, admission pause, counts). */
+    ContinuousBatcher &batcher() { return batcher_; }
+    const ContinuousBatcher &batcher() const { return batcher_; }
+
+    /** Device pool this engine runs on. */
+    const DevicePoolSlice &slice() const { return slice_; }
+
+    /** Per-layer expert layouts currently in force. */
+    const std::vector<ExpertLayout> &layouts() const { return layouts_; }
+
+    /**
+     * Overwrite the per-layer layouts (shared-layout disaggregation:
+     * the follower pool adopts the leader's tuned layouts). Layer
+     * count and device geometry must match this engine's.
+     */
+    void setLayouts(const std::vector<ExpertLayout> &layouts);
+
+    /**
+     * Fold another pool's per-layer routing of one step into this
+     * engine's LAER aggregation window, so a shared layout is tuned
+     * from the combined traffic. Matrices must match this engine's
+     * device/expert geometry (equal pool sizes).
+     */
+    void addExternalRouting(const std::vector<RoutingMatrix> &routing);
+
+    /** Per-layer routing matrices drawn by the last executeStep(). */
+    const std::vector<RoutingMatrix> &lastRouting() const
+    {
+        return lastRouting_;
+    }
+
+    /** Steps executed by this engine so far. */
+    int stepsExecuted() const { return stepIndex_; }
+
+    /** LAER re-tunes applied so far. */
+    int retunes() const { return retunes_; }
+
+    const EngineConfig &config() const { return config_; }
+
+  private:
+    /** Refresh layouts per the active policy; returns migration cost. */
+    Seconds updateLayouts(const std::vector<RoutingMatrix> &routing,
+                          ServingStepResult &result);
+
+    DevicePoolSlice slice_;
+    EngineConfig config_;
+    ContinuousBatcher batcher_;
+    int stepIndex_ = 0;
+    int retunes_ = 0;
+
+    EpGrouping grouping_;        //!< StaticEp group structure
+    std::vector<RoutingGenerator> generators_; //!< one per sim layer
+    std::vector<ExpertLayout> layouts_;        //!< per sim layer
+    std::vector<RoutingMatrix> aggRouting_;    //!< LAER window sums
+    std::vector<RoutingMatrix> lastRouting_;   //!< last step's gating
+    std::vector<std::unique_ptr<FlexMoePlanner>> flexPlanners_;
+};
+
+} // namespace laer
+
+#endif // LAER_SERVE_ENGINE_HH

@@ -59,6 +59,8 @@ struct Request
     Seconds firstTokenTime = -1.0; //!< absolute time; < 0 until known
     Seconds finishTime = -1.0;     //!< absolute time; < 0 until done
     bool restoring = false;       //!< preempted; KV is being recomputed
+    bool swapped = false;         //!< preempted; KV parked in host memory
+    Bytes swappedBytes = 0;       //!< KV bytes parked on host while swapped
     int preemptions = 0;          //!< times this request was evicted
 
     /** Current life-cycle stage, derived from progress counters. */

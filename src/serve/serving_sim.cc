@@ -1,36 +1,18 @@
 #include "serve/serving_sim.hh"
 
 #include <algorithm>
+#include <limits>
 
-#include "comm/collectives.hh"
 #include "core/error.hh"
-#include "core/stats.hh"
 #include "serve/kv_cache.hh"
-#include "planner/lite_routing.hh"
-#include "planner/relocation.hh"
-#include "planner/replica_alloc.hh"
-#include "runtime/iteration.hh"
-#include "sim/engine.hh"
 
 namespace laer
 {
 
-const char *
-servingPolicyName(ServingPolicy policy)
-{
-    switch (policy) {
-      case ServingPolicy::LaerServe:
-        return "LAER";
-      case ServingPolicy::StaticEp:
-        return "StaticEP";
-      case ServingPolicy::FlexMoe:
-        return "FlexMoE";
-    }
-    return "?";
-}
-
 namespace
 {
+
+constexpr Seconds kNever = std::numeric_limits<Seconds>::infinity();
 
 /** Validate and fill the derived fields of the configuration. */
 ServingConfig
@@ -48,22 +30,11 @@ normalizeConfig(const Cluster &cluster, ServingConfig config)
     LAER_CHECK(config.horizon > 0.0, "horizon must be positive");
     LAER_CHECK(config.retunePeriod >= 1,
                "retune period must be positive");
+    LAER_CHECK(config.hostLinkBw > 0,
+               "host-link bandwidth must be positive");
 
     config.batcher.numDevices = n;
     config.batcher.numSloClasses = config.arrival.numSloClasses;
-
-    if (config.hbmPerDevice > 0) {
-        // Derive the KV pool from simulated HBM: model state and the
-        // activation working set come off the top (Sec. 3.1 memory
-        // model applied to inference), the remainder is KV, and the
-        // batcher switches from maxRunning slots to byte accounting.
-        const ServingMemoryBudget mem = servingMemoryBudget(
-            config.model, n, config.capacity, config.hbmPerDevice,
-            std::max<TokenCount>(1, config.batcher.tokenBudget / n));
-        config.batcher.kvBudgetBytes = mem.kvPoolTotal;
-        config.batcher.kvBytesPerToken = kvBytesPerToken(config.model);
-        config.batcher.kvBlockTokens = config.kvBlockTokens;
-    }
 
     config.routing.numDevices = n;
     config.routing.numExperts = experts;
@@ -77,44 +48,35 @@ normalizeConfig(const Cluster &cluster, ServingConfig config)
     if (config.tuner.cost.compFlopsPerToken == 0)
         config.tuner.cost.compFlopsPerToken =
             config.model.expertFlopsPerToken();
+
+    if (config.policy == ServingPolicy::Disaggregated) {
+        LAER_CHECK(n >= 2, "disaggregation needs at least two devices");
+        if (config.disagg.prefillDevices == 0)
+            config.disagg.prefillDevices = n / 2;
+        const int prefill = config.disagg.prefillDevices;
+        const int decode = n - prefill;
+        LAER_CHECK(prefill >= 1 && decode >= 1,
+                   "prefill pool size " << prefill
+                                        << " leaves no decode pool on "
+                                        << n << " devices");
+        LAER_CHECK(prefill * config.capacity >= experts &&
+                       decode * config.capacity >= experts,
+                   "each pool must be able to host every expert");
+        LAER_CHECK(config.disagg.poolPolicy !=
+                       ServingPolicy::Disaggregated,
+                   "pool policy cannot itself be Disaggregated");
+        if (config.disagg.sharedLayout) {
+            LAER_CHECK(prefill == decode,
+                       "shared-layout disaggregation needs equal pools "
+                       "(" << prefill << " vs " << decode << ")");
+            LAER_CHECK(config.disagg.poolPolicy ==
+                           ServingPolicy::LaerServe,
+                       "shared-layout disaggregation needs LaerServe "
+                       "pools (only the LAER tuner supports the "
+                       "leader/follower split)");
+        }
+    }
     return config;
-}
-
-/** EP group structure (only meaningful for the StaticEp policy). */
-EpGrouping
-makeGrouping(const Cluster &cluster, const ServingConfig &config)
-{
-    if (config.policy != ServingPolicy::StaticEp)
-        return EpGrouping(cluster, 1, false);
-    const int experts = config.model.numExperts;
-    LAER_CHECK(experts % config.capacity == 0,
-               "StaticEP needs capacity to divide the expert count");
-    const int ep_degree = experts / config.capacity;
-    LAER_CHECK(cluster.numDevices() % ep_degree == 0,
-               "StaticEP needs the EP degree to divide the cluster");
-    return EpGrouping(cluster, ep_degree, true);
-}
-
-/** Load-oblivious even starting layout for the dynamic policies. */
-ExpertLayout
-evenStartLayout(const Cluster &cluster, int n_experts, int capacity)
-{
-    const std::vector<TokenCount> flat(n_experts, 1);
-    return expertRelocation(
-        cluster, evenAllocation(flat, cluster.numDevices(), capacity),
-        flat, capacity);
-}
-
-/** Transpose a volume matrix (combine reverses dispatch). */
-VolumeMatrix
-transposeVolume(const VolumeMatrix &volume)
-{
-    const std::size_t n = volume.size();
-    VolumeMatrix out(n, std::vector<Bytes>(n, 0));
-    for (std::size_t i = 0; i < n; ++i)
-        for (std::size_t k = 0; k < n; ++k)
-            out[k][i] = volume[i][k];
-    return out;
 }
 
 } // namespace
@@ -122,44 +84,85 @@ transposeVolume(const VolumeMatrix &volume)
 ServingSimulator::ServingSimulator(const Cluster &cluster,
                                    const ServingConfig &config)
     : cluster_(cluster), config_(normalizeConfig(cluster, config)),
-      batcher_(config_.batcher), arrivals_(config_.arrival),
-      metrics_(config_.sloTtft), grouping_(makeGrouping(cluster, config_))
+      arrivals_(config_.arrival), metrics_(config_.sloTtft)
 {
-    const int experts = config_.model.numExperts;
-    for (int l = 0; l < config_.simulatedLayers; ++l) {
-        RoutingModel m = config_.routing;
-        m.seed = config_.seed + 7919ULL * static_cast<std::uint64_t>(l);
-        generators_.emplace_back(m);
-        aggRouting_.emplace_back(cluster.numDevices(), experts);
+    std::vector<DevicePoolSlice> slices;
+    if (config_.policy == ServingPolicy::Disaggregated) {
+        const int prefill = config_.disagg.prefillDevices;
+        slices = partitionCluster(
+            cluster_, {prefill, cluster_.numDevices() - prefill},
+            {"prefill", "decode"});
+    } else {
+        slices.push_back(wholeClusterSlice(cluster_));
     }
-
-    switch (config_.policy) {
-      case ServingPolicy::StaticEp:
-        layouts_.assign(config_.simulatedLayers,
-                        staticEpLayout(cluster, experts, grouping_));
-        break;
-      case ServingPolicy::LaerServe:
-        layouts_.assign(config_.simulatedLayers,
-                        evenStartLayout(cluster, experts,
-                                        config_.capacity));
-        break;
-      case ServingPolicy::FlexMoe: {
-        FlexMoeConfig fc;
-        fc.capacity = config_.capacity;
-        fc.maxMovesPerStep = config_.flexMaxMoves;
-        fc.expertBytes = config_.model.expertParamBytes();
-        fc.cost = config_.tuner.cost;
-        for (int l = 0; l < config_.simulatedLayers; ++l) {
-            flexPlanners_.push_back(std::make_unique<FlexMoePlanner>(
-                cluster, experts, fc));
-            layouts_.push_back(flexPlanners_.back()->layout());
-        }
-        break;
-      }
-    }
+    for (std::size_t i = 0; i < slices.size(); ++i)
+        engines_.push_back(std::make_unique<ServingEngine>(
+            slices[i],
+            engineConfigFor(slices[i], static_cast<int>(i))));
+    freeAt_.assign(engines_.size(), 0.0);
+    poolStats_.resize(engines_.size());
 }
 
 ServingSimulator::~ServingSimulator() = default;
+
+EngineConfig
+ServingSimulator::engineConfigFor(const DevicePoolSlice &slice,
+                                  int pool_index) const
+{
+    const int n = slice.numDevices();
+    const int cluster_n = cluster_.numDevices();
+
+    EngineConfig ec;
+    ec.model = config_.model;
+    ec.policy = config_.policy == ServingPolicy::Disaggregated
+                    ? config_.disagg.poolPolicy
+                    : config_.policy;
+    ec.capacity = config_.capacity;
+    ec.simulatedLayers = config_.simulatedLayers;
+    ec.stepOverhead = config_.stepOverhead;
+    ec.retunePeriod = config_.retunePeriod;
+    ec.tuner = config_.tuner;
+    ec.flexMaxMoves = config_.flexMaxMoves;
+    ec.hostLinkBw = config_.hostLinkBw;
+    // Engines draw from disjoint seed streams; pool 0 keeps the run's
+    // base seed so single-engine runs reproduce PR 1-2 bit-for-bit.
+    ec.seed = config_.seed +
+              104729ULL * static_cast<std::uint64_t>(pool_index);
+    // Shared-layout disaggregation: the decode pool (index 1) leads,
+    // the prefill pool follows via setLayouts().
+    ec.tuningEnabled = !(config_.policy == ServingPolicy::Disaggregated &&
+                         config_.disagg.sharedLayout && pool_index == 0);
+
+    ec.batcher = config_.batcher;
+    ec.batcher.numDevices = n;
+    // A pool's step budget is its device share of the cluster budget.
+    ec.batcher.tokenBudget = std::max<TokenCount>(
+        1, config_.batcher.tokenBudget * n / cluster_n);
+    if (config_.hbmPerDevice > 0) {
+        // Derive the pool's KV budget from simulated HBM: model state
+        // and the activation working set come off the top (Sec. 3.1
+        // memory model applied to inference), the remainder is KV, and
+        // the batcher switches from maxRunning slots to byte
+        // accounting.
+        const ServingMemoryBudget mem = servingMemoryBudget(
+            config_.model, n, config_.capacity, config_.hbmPerDevice,
+            std::max<TokenCount>(1, ec.batcher.tokenBudget / n));
+        ec.batcher.kvBudgetBytes = mem.kvPoolTotal;
+        ec.batcher.kvBytesPerToken = kvBytesPerToken(config_.model);
+        ec.batcher.kvBlockTokens = config_.kvBlockTokens;
+    } else if (config_.batcher.kvBudgetBytes > 0) {
+        // Direct pool sizing: split the configured budget by device
+        // share.
+        ec.batcher.kvBudgetBytes =
+            config_.batcher.kvBudgetBytes * n / cluster_n;
+    }
+
+    ec.routing = config_.routing;
+    ec.routing.numDevices = n;
+    ec.routing.tokensPerDevice =
+        std::max<TokenCount>(1, ec.batcher.tokenBudget / n);
+    return ec;
+}
 
 void
 ServingSimulator::pumpArrivals()
@@ -178,222 +181,186 @@ ServingSimulator::pumpArrivals()
         }
         if (lookahead_.arrival > now_)
             break;
-        batcher_.enqueue(lookahead_);
+        if (config_.policy == ServingPolicy::Disaggregated) {
+            // The prefill pool runs the request only up to its first
+            // token; the requested decode length is restored when the
+            // context migrates to the decode pool.
+            decodeTargets_[lookahead_.id] = lookahead_.decodeTokens;
+            Request prefill_only = lookahead_;
+            prefill_only.decodeTokens = 1;
+            engines_[0]->enqueue(prefill_only);
+        } else {
+            engines_[0]->enqueue(lookahead_);
+        }
         ++offered_;
         lookaheadValid_ = false;
     }
 }
 
-Seconds
-ServingSimulator::updateLayouts(const std::vector<RoutingMatrix> &routing,
-                                ServingStepResult &result)
+void
+ServingSimulator::harvestFinished(int pool_index)
 {
-    switch (config_.policy) {
-      case ServingPolicy::StaticEp:
-        return 0.0;
-
-      case ServingPolicy::LaerServe: {
-        // Asynchronous re-tune from the PREVIOUS window's aggregated
-        // routing (paper Fig. 7): the CPU solver works off observed
-        // traffic while steps keep executing, and FSEP restores the
-        // new replicas from parameter shards without a stall.
-        if (stepIndex_ > 0 && stepIndex_ % config_.retunePeriod == 0) {
-            for (int l = 0; l < config_.simulatedLayers; ++l) {
-                const LayoutDecision decision = tuneExpertLayout(
-                    cluster_, aggRouting_[l], config_.tuner);
-                layouts_[l] = decision.layout;
-                aggRouting_[l] = RoutingMatrix(
-                    cluster_.numDevices(), config_.model.numExperts);
-            }
-            result.retuned = true;
-            ++retunes_;
+    const bool disagg = config_.policy == ServingPolicy::Disaggregated;
+    for (Request r : engines_[pool_index]->takeFinished()) {
+        if (!disagg || pool_index == 1) {
+            metrics_.record(r);
+            continue;
         }
-        for (int l = 0; l < config_.simulatedLayers; ++l)
-            for (DeviceId i = 0; i < cluster_.numDevices(); ++i)
-                for (ExpertId j = 0; j < config_.model.numExperts; ++j)
-                    aggRouting_[l].at(i, j) += routing[l].at(i, j);
-        return 0.0;
-      }
-
-      case ServingPolicy::FlexMoe: {
-        // Incremental adjustment; the migration time lands on the
-        // serving critical path (no FSEP to hide behind).
-        Seconds migration = 0.0;
-        for (int l = 0; l < config_.simulatedLayers; ++l) {
-            migration += flexPlanners_[l]->update(routing[l])
-                             .migrationTime;
-            layouts_[l] = flexPlanners_[l]->layout();
+        // Prefill pool: the "finished" request is the prefill-only
+        // copy — its prefill completed and the first token is out.
+        const auto it = decodeTargets_.find(r.id);
+        LAER_ASSERT(it != decodeTargets_.end(),
+                    "prefill pool finished unknown request " << r.id);
+        const TokenCount decode_target = it->second;
+        decodeTargets_.erase(it);
+        if (decode_target <= 1) {
+            // Single-token request: nothing left to decode, and no KV
+            // to move.
+            metrics_.record(r);
+            continue;
         }
-        return migration;
-      }
+        // Hand the context over: its KV crosses the inter-pool links.
+        const Bytes bytes =
+            r.contextLength() * kvBytesPerToken(config_.model);
+        const Seconds wire = kvTransferTime(
+            cluster_, engines_[0]->slice(), engines_[1]->slice(), bytes);
+        PendingMigration m;
+        m.readyAt = r.finishTime + wire;
+        r.decodeTokens = decode_target;
+        r.finishTime = -1.0;
+        m.request = r;
+        // Keep the queue ordered by arrival at the decode pool:
+        // per-context wire times differ, so a short context finishing
+        // later can still land first. Ties keep push order (stable).
+        migrations_.insert(
+            std::upper_bound(migrations_.begin(), migrations_.end(),
+                             m,
+                             [](const PendingMigration &a,
+                                const PendingMigration &b) {
+                                 return a.readyAt < b.readyAt;
+                             }),
+            m);
+        kvTransferBytes_ += bytes;
+        kvTransferSeconds_ += wire;
+        ++migrated_;
     }
-    return 0.0;
 }
 
-ServingStepResult
-ServingSimulator::executeStep(const BatchPlan &plan)
+void
+ServingSimulator::pumpMigrations()
 {
-    const int n = cluster_.numDevices();
-    const int layers = config_.simulatedLayers;
-    const ModelConfig &model = config_.model;
-
-    ServingStepResult res;
-    res.start = now_;
-    res.tokens = plan.totalTokens();
-    res.prefill = plan.prefillTokens();
-    res.decode = plan.decodeTokens();
-
-    // Data-parallel batch shard: spread tokens over devices, rotating
-    // the remainder so no device systematically runs long.
-    std::vector<TokenCount> share(n, res.tokens / n);
-    for (TokenCount i = 0; i < res.tokens % n; ++i)
-        share[(stepIndex_ + static_cast<int>(i)) % n] += 1;
-
-    // Per-layer gating under the drifting popularity model.
-    std::vector<RoutingMatrix> routing;
-    routing.reserve(layers);
-    for (auto &gen : generators_)
-        routing.push_back(gen.nextForTokens(share));
-
-    res.migration = updateLayouts(routing, res);
-
-    std::vector<RoutingPlan> plans;
-    plans.reserve(layers);
-    for (int l = 0; l < layers; ++l) {
-        plans.push_back(config_.policy == ServingPolicy::StaticEp
-                            ? staticEpRouting(routing[l], grouping_,
-                                              layouts_[l])
-                            : liteRouting(cluster_, routing[l],
-                                          layouts_[l]));
+    if (engines_.size() < 2)
+        return;
+    ServingEngine &decode = *engines_[1];
+    while (!migrations_.empty()) {
+        const PendingMigration &m = migrations_.front();
+        if (m.readyAt > now_)
+            break;
+        if (!decode.batcher().canAdmitContext(
+                m.request.contextLength()))
+            break; // decode pool full: the context waits at the door
+        transferStallSeconds_ += now_ - m.readyAt;
+        decode.enqueue(m.request);
+        migrations_.pop_front();
     }
+    // Back-pressure: a transferred context stuck at the decode pool's
+    // door closes prefill admission until the decode pool drains.
+    const bool blocked =
+        !migrations_.empty() && migrations_.front().readyAt <= now_;
+    engines_[0]->batcher().setAdmissionPaused(blocked);
+}
 
-    // Attention + gate work of the step, sharded evenly (the batch is
-    // data parallel; only expert work is layout dependent). Prefill
-    // tokens attend over their prompt, decode tokens over the full
-    // running context. Sequences emitting a token this step also pay
-    // one LM-head forward.
-    Flops attn_flops = 0.0;
-    TokenCount sampled = 0;
-    for (const BatchEntry &e : plan.entries) {
-        const Request *r = batcher_.find(e.requestId);
-        LAER_ASSERT(r != nullptr, "planned request vanished");
-        if (e.prefillTokens > 0) {
-            attn_flops += static_cast<double>(e.prefillTokens) *
-                          model.attnFlopsPerToken(
-                              static_cast<int>(r->prefillTarget()));
-            // Completing the (re)prefill emits a token only when the
-            // first token has not been produced yet; a KV recompute
-            // after preemption replays tokens already delivered.
-            if (r->prefillDone + e.prefillTokens >= r->prefillTarget() &&
-                r->firstTokenTime < 0.0)
-                ++sampled;
-        } else {
-            attn_flops += model.attnFlopsPerToken(
-                static_cast<int>(r->contextLength()));
-            ++sampled;
+bool
+ServingSimulator::runDueEngines()
+{
+    const bool shared_layout =
+        config_.policy == ServingPolicy::Disaggregated &&
+        config_.disagg.sharedLayout;
+    bool ran = false;
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+        if (freeAt_[i] > now_ || !engines_[i]->hasWork())
+            continue;
+        ServingEngine &engine = *engines_[i];
+        const BatchPlan plan = engine.planStep();
+        // Planning is where KV preemption happens; account for it even
+        // when the plan comes back empty.
+        const std::vector<int> preempted =
+            engine.takePreemptedClasses();
+        for (const int slo_class : preempted)
+            metrics_.recordPreemption(slo_class);
+        poolStats_[i].preemptions +=
+            static_cast<std::int64_t>(preempted.size());
+        if (plan.empty()) {
+            // Admission paused by back-pressure with nothing running:
+            // the pool waits for the decode side to drain.
+            LAER_ASSERT(engine.batcher().admissionPaused(),
+                        "engine idle while holding live requests");
+            continue;
         }
+
+        ServingStepResult res = engine.executeStep(plan, now_);
+        res.pool = static_cast<int>(i);
+        res.preemptions = static_cast<int>(preempted.size());
+        if (engine.batcher().kvEnabled()) {
+            // Post-plan reservation peak of this step.
+            res.kvUtilization = engine.batcher().kvUtilization();
+            metrics_.recordKvUtilization(res.kvUtilization);
+            poolStats_[i].kvUtil.add(res.kvUtilization);
+        }
+        freeAt_[i] = now_ + res.duration;
+        engine.commitStep(plan, freeAt_[i]);
+        ++poolStats_[i].steps;
+        harvestFinished(static_cast<int>(i));
+
+        if (shared_layout) {
+            // The decode pool (leader) tunes from combined traffic;
+            // the prefill pool adopts each fresh layout.
+            if (i == 1 && res.retuned)
+                engines_[0]->setLayouts(engines_[1]->layouts());
+            if (i == 0)
+                engines_[1]->addExternalRouting(
+                    engines_[0]->lastRouting());
+        }
+        steps_.push_back(res);
+        ran = true;
     }
-    attn_flops += static_cast<double>(res.tokens) * 2.0 *
-                  model.numExperts * model.hiddenDim;
-    const Seconds attn_dur =
-        attn_flops / n / cluster_.computeFlops();
+    return ran;
+}
 
-    // Timeline: per layer, attention -> dispatch A2A (barrier) ->
-    // expert FFN -> combine A2A (barrier), forward only.
-    SimEngine eng(n);
-    std::vector<TaskId> prev(n, -1);
-    std::vector<double> imbalance;
-    for (int l = 0; l < layers; ++l) {
-        const VolumeMatrix vol =
-            plans[l].dispatchVolume(model.tokenBytes());
-        const Seconds t_disp =
-            kCollectiveAlpha + a2aBottleneckTime(cluster_, vol);
-        const Seconds t_comb =
-            kCollectiveAlpha +
-            a2aBottleneckTime(cluster_, transposeVolume(vol));
-        const std::vector<TokenCount> recv = plans[l].receivedTokens();
-        std::vector<double> recv_d(recv.begin(), recv.end());
-        imbalance.push_back(imbalanceFactor(recv_d));
-
-        std::vector<TaskId> attn_ids(n), disp_ids(n), expert_ids(n);
-        for (DeviceId d = 0; d < n; ++d) {
-            const std::vector<TaskId> deps =
-                prev[d] < 0 ? std::vector<TaskId>{}
-                            : std::vector<TaskId>{prev[d]};
-            attn_ids[d] = eng.addTask("attn", d, StreamKind::Compute,
-                                      attn_dur, deps, "attn");
-        }
-        for (DeviceId d = 0; d < n; ++d)
-            disp_ids[d] = eng.addTask("dispatch", d,
-                                      StreamKind::Dispatch, t_disp,
-                                      attn_ids, "a2a");
-        for (DeviceId d = 0; d < n; ++d) {
-            const Seconds dur = static_cast<double>(recv[d]) *
-                                model.expertFlopsPerToken() /
-                                cluster_.computeFlops();
-            expert_ids[d] = eng.addTask("expert", d,
-                                        StreamKind::Compute, dur,
-                                        {disp_ids[d]}, "expert");
-        }
-        for (DeviceId d = 0; d < n; ++d)
-            prev[d] = eng.addTask("combine", d, StreamKind::Dispatch,
-                                  t_comb, expert_ids, "a2a");
-    }
-    eng.run();
-
-    const double layer_scale =
-        static_cast<double>(model.layers) / layers;
-    const Seconds head = lmHeadForwardTime(model, sampled, 1,
-                                           cluster_.computeFlops());
-    res.duration = eng.makespan() * layer_scale + head +
-                   config_.stepOverhead + res.migration;
-
-    const auto busy = eng.categoryBusyPerDevice();
-    const auto busyOf = [&busy](const char *key) {
-        const auto it = busy.find(key);
-        return it == busy.end() ? 0.0 : it->second;
-    };
-    res.a2aBusy = busyOf("a2a") * layer_scale;
-    res.expertBusy = busyOf("expert") * layer_scale;
-    res.othersBusy = busyOf("attn") * layer_scale;
-    res.maxRelTokens = mean(imbalance);
-    return res;
+Seconds
+ServingSimulator::nextEventTime() const
+{
+    Seconds t = kNever;
+    for (std::size_t i = 0; i < engines_.size(); ++i)
+        if (engines_[i]->hasWork() && freeAt_[i] > now_)
+            t = std::min(t, freeAt_[i]);
+    if (lookaheadValid_)
+        t = std::min(t, lookahead_.arrival);
+    if (!migrations_.empty() && migrations_.front().readyAt > now_)
+        t = std::min(t, migrations_.front().readyAt);
+    return t;
 }
 
 bool
 ServingSimulator::step()
 {
     pumpArrivals();
-    const BatchPlan plan = batcher_.nextBatch();
-    // Planning is where KV preemption happens; account for it even on
-    // the (theoretically impossible) empty-plan path.
-    const std::vector<int> preempted = batcher_.takePreemptedClasses();
-    for (const int slo_class : preempted)
-        metrics_.recordPreemption(slo_class);
-    if (plan.empty()) {
-        LAER_ASSERT(!batcher_.hasWork(),
-                    "batcher idle while holding live requests");
-        if (offeringClosed_)
-            return false;
-        // Idle: jump to the next arrival.
-        LAER_ASSERT(lookaheadValid_, "idle with no pending arrival");
-        now_ = lookahead_.arrival;
+    pumpMigrations();
+    if (runDueEngines())
         return true;
+    const Seconds t = nextEventTime();
+    if (t == kNever) {
+        // Fully drained — nothing in any pool or in flight between
+        // them.
+        for (const auto &engine : engines_)
+            LAER_ASSERT(!engine->hasWork(),
+                        "run ended while a pool holds live requests");
+        LAER_ASSERT(migrations_.empty(),
+                    "run ended with contexts in flight");
+        return false;
     }
-
-    ServingStepResult res = executeStep(plan);
-    res.preemptions = static_cast<int>(preempted.size());
-    if (batcher_.kvEnabled()) {
-        // Post-plan reservation peak of this step.
-        res.kvUtilization = batcher_.kvUtilization();
-        metrics_.recordKvUtilization(res.kvUtilization);
-    }
-    now_ += res.duration;
-    batcher_.applyStep(plan, now_);
-    for (const Request &r : batcher_.takeFinished())
-        metrics_.record(r);
-    steps_.push_back(res);
-    ++stepIndex_;
+    LAER_ASSERT(t > now_, "simulation failed to advance");
+    now_ = t;
     return true;
 }
 
@@ -402,6 +369,10 @@ ServingSimulator::run()
 {
     while (step()) {
     }
+    // The clock stops at the last event *start*; the run ends when the
+    // last engine drains.
+    for (const Seconds f : freeAt_)
+        now_ = std::max(now_, f);
 
     ServingReport report;
     report.policy = config_.policy;
@@ -409,7 +380,8 @@ ServingSimulator::run()
     report.completed = metrics_.completed();
     report.sloMet = metrics_.sloMet();
     report.steps = static_cast<int>(steps_.size());
-    report.retunes = retunes_;
+    for (const auto &engine : engines_)
+        report.retunes += engine->retunes();
     report.elapsed = now_;
     report.ttftP50 = metrics_.ttftPercentile(50.0);
     report.ttftP90 = metrics_.ttftPercentile(90.0);
@@ -425,18 +397,38 @@ ServingSimulator::run()
         step_time.add(s.duration);
         imbalance.add(s.maxRelTokens);
         report.migrationTotal += s.migration;
+        report.swapOutBytes += s.swapOutBytes;
+        report.swapInBytes += s.swapInBytes;
+        report.swapSeconds += s.swapTime;
     }
     report.meanBatchTokens = tokens.mean();
     report.meanStepTime = step_time.mean();
     report.meanMaxRelTokens = imbalance.mean();
 
-    report.kvBudgetBytes = batcher_.kvBudgetBytes();
+    for (const auto &engine : engines_)
+        report.kvBudgetBytes += engine->batcher().kvBudgetBytes();
     report.preemptions = metrics_.totalPreemptions();
     report.preemptionsByClass.resize(config_.batcher.numSloClasses, 0);
     for (int c = 0; c < config_.batcher.numSloClasses; ++c)
         report.preemptionsByClass[c] = metrics_.preemptions(c);
     report.meanKvUtilization = metrics_.meanKvUtilization();
     report.peakKvUtilization = metrics_.peakKvUtilization();
+
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+        PoolReport pool;
+        pool.name = engines_[i]->slice().name;
+        pool.devices = engines_[i]->slice().numDevices();
+        pool.kvBudgetBytes = engines_[i]->batcher().kvBudgetBytes();
+        pool.steps = poolStats_[i].steps;
+        pool.preemptions = poolStats_[i].preemptions;
+        pool.meanKvUtilization = poolStats_[i].kvUtil.mean();
+        pool.peakKvUtilization = poolStats_[i].kvUtil.max();
+        report.pools.push_back(pool);
+    }
+    report.migrated = migrated_;
+    report.kvTransferBytes = kvTransferBytes_;
+    report.kvTransferSeconds = kvTransferSeconds_;
+    report.transferStallSeconds = transferStallSeconds_;
     return report;
 }
 

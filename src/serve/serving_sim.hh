@@ -4,40 +4,54 @@
  *
  * The serving loop mirrors the training runtime's division of labour
  * (paper Fig. 7) under an open-loop request stream instead of fixed
- * micro-batches: an ArrivalProcess offers requests, the
- * ContinuousBatcher assembles each engine step under a token budget,
- * the drifting RoutingGenerator gates the step's tokens onto experts,
- * the active layout policy decides where expert replicas live, and
- * the discrete-event engine prices the step (attention, token
- * All-to-All dispatch/combine, expert FFN) on the cluster topology.
+ * micro-batches: an ArrivalProcess offers requests, and one or more
+ * `ServingEngine`s — each bound to a `DevicePoolSlice` of the cluster
+ * with its own batcher, KV pool and layout policy — plan, price and
+ * commit engine steps on their sub-topologies. The simulator is the
+ * event loop that advances simulated time across the engines and
+ * moves requests between them.
  *
- * Layout policies:
- *  - LaerServe: the paper's layout tuner (Alg. 2) re-tunes every
- *    `retunePeriod` steps from the routing aggregated over the last
- *    window — asynchronously, exactly as the training-side CPU solver
- *    does, so no stall is charged (FSEP restores replicas from shards
- *    under the ongoing steps).
- *  - StaticEp: the fixed vanilla-EP placement; hot experts queue.
- *  - FlexMoe: incremental replica adjustment with migration penalties
- *    charged on the serving critical path.
+ * Policies (ServingPolicy, serve/engine.hh):
+ *  - LaerServe / StaticEp / FlexMoe: one whole-cluster engine running
+ *    the respective expert-placement policy, exactly the PR 1-2
+ *    behaviour.
+ *  - Disaggregated: a prefill pool and a decode pool. Arrivals enter
+ *    the prefill pool (chunked prefill only; the completing step emits
+ *    the first token); the finished context's KV — contextLength *
+ *    kvBytesPerToken bytes — is then transferred to the decode pool
+ *    over the inter-pool links (serve/device_pool.hh), where
+ *    admission is driven by the transferred-context bytes against the
+ *    decode pool's own KvCachePool. A transferred context stuck at
+ *    the decode pool's door back-pressures the prefill pool by
+ *    pausing its admission. Each pool runs its own LAER tuner
+ *    (`disagg.sharedLayout = false`) or the decode pool tunes one
+ *    layout from the combined traffic that the prefill pool adopts
+ *    (`true`).
  *
  * Reported metrics are the serving-world equivalents of the paper's
- * iteration time: TTFT/TPOT percentiles, throughput, and
- * SLO-conditioned goodput.
+ * iteration time: TTFT/TPOT percentiles, throughput, SLO-conditioned
+ * goodput, and — per pool — KV utilization, preemptions and step
+ * counts, plus the KV transfer volume/time and transfer-stall time of
+ * a disaggregated run.
  */
 
 #ifndef LAER_SERVE_SERVING_SIM_HH
 #define LAER_SERVE_SERVING_SIM_HH
 
+#include <deque>
 #include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
-#include "baselines/flexmoe.hh"
-#include "baselines/static_ep.hh"
+#include "core/stats.hh"
 #include "model/config.hh"
+#include "model/memory.hh"
 #include "planner/layout_tuner.hh"
 #include "serve/arrival.hh"
 #include "serve/batcher.hh"
+#include "serve/device_pool.hh"
+#include "serve/engine.hh"
 #include "serve/request.hh"
 #include "topo/cluster.hh"
 #include "trace/routing_generator.hh"
@@ -45,16 +59,23 @@
 namespace laer
 {
 
-/** Expert-placement policies compared by the serving benches. */
-enum class ServingPolicy
+/** Prefill/decode disaggregation knobs (policy == Disaggregated). */
+struct DisaggConfig
 {
-    LaerServe, //!< async layout tuner re-runs on live routing
-    StaticEp,  //!< fixed vanilla EP placement
-    FlexMoe,   //!< incremental adjustment with migration penalty
-};
+    /** Devices in the prefill pool; 0 picks half the cluster. The
+     * decode pool owns the rest. Each pool must be node-regular and
+     * large enough to host every expert. */
+    int prefillDevices = 0;
 
-/** Printable policy name. */
-const char *servingPolicyName(ServingPolicy policy);
+    /** False: each pool runs its own LAER tuner on its own traffic.
+     * True: the decode pool tunes one layout from the combined
+     * prefill + decode routing and the prefill pool adopts it
+     * (requires equal pool sizes). */
+    bool sharedLayout = false;
+
+    /** Expert-placement policy inside each pool. */
+    ServingPolicy poolPolicy = ServingPolicy::LaerServe;
+};
 
 /** Full configuration of one serving experiment. */
 struct ServingConfig
@@ -65,42 +86,39 @@ struct ServingConfig
     int simulatedLayers = 4;   //!< MoE layers carried through the DES
                                //!< (timing scales to model.layers)
     Seconds stepOverhead = 2e-3; //!< scheduler + launch cost per step
-    /** Per-device HBM in bytes. When > 0 the simulator derives the
-     * batcher's KV-cache pool from it (servingMemoryBudget): model
+    /** Per-device HBM in bytes. When > 0 the simulator derives each
+     * pool's KV-cache pool from it (servingMemoryBudget): model
      * state + activation reserve come off the top, the rest is KV,
      * and admission/preemption run on bytes instead of maxRunning. */
     Bytes hbmPerDevice = 0;
     TokenCount kvBlockTokens = 16; //!< KV paged-allocation granularity
     ArrivalConfig arrival;
-    BatcherConfig batcher;     //!< numDevices is filled in by the sim
+    BatcherConfig batcher;     //!< numDevices is filled in by the sim;
+                               //!< multi-pool runs split tokenBudget
+                               //!< and kvBudgetBytes by device share
     RoutingModel routing;      //!< drift/skew/jitter knobs; the
                                //!< device/expert/token counts are
                                //!< filled in by the simulator
     int retunePeriod = 16;     //!< LAER re-tune cadence, in steps
     TunerConfig tuner;         //!< LAER planner knobs
     int flexMaxMoves = 2;      //!< FlexMoE adjustments per step
+    DisaggConfig disagg;       //!< pool split (Disaggregated only)
+    double hostLinkBw = kHostLinkBw; //!< PCIe rate for swap preemption
     Seconds sloTtft = 0.5;     //!< TTFT target for goodput accounting
     Seconds horizon = 30.0;    //!< seconds of offered traffic
     std::uint64_t seed = 42;   //!< routing-generator seed base
 };
 
-/** Timing/accounting of one engine step. */
-struct ServingStepResult
+/** Per-pool slice of a run's summary. */
+struct PoolReport
 {
-    Seconds start = 0.0;       //!< simulated step start time
-    Seconds duration = 0.0;    //!< end-to-end step seconds
-    TokenCount tokens = 0;     //!< scheduled tokens (prefill + decode)
-    TokenCount prefill = 0;
-    TokenCount decode = 0;
-    Seconds a2aBusy = 0.0;     //!< dispatch+combine busy per device
-    Seconds expertBusy = 0.0;  //!< expert FFN busy per device (mean)
-    Seconds othersBusy = 0.0;  //!< attention/gate busy per device
-    Seconds migration = 0.0;   //!< baseline re-layout overhead
-    double maxRelTokens = 0.0; //!< mean over layers of max/mean recv
-    bool retuned = false;      //!< LAER applied a fresh layout
-    double kvUtilization = 0.0; //!< KV pool reserved/budget after the
-                                //!< step was planned (0 when disabled)
-    int preemptions = 0;        //!< evictions while planning this step
+    std::string name;           //!< "serve", "prefill", "decode"
+    int devices = 0;            //!< pool size
+    Bytes kvBudgetBytes = 0;    //!< pool's KV budget; 0 = KV model off
+    int steps = 0;              //!< engine steps the pool executed
+    std::int64_t preemptions = 0;
+    double meanKvUtilization = 0.0;
+    double peakKvUtilization = 0.0;
 };
 
 /** Summary of a full serving run. */
@@ -121,16 +139,29 @@ struct ServingReport
     Seconds meanStepTime = 0.0;
     double meanMaxRelTokens = 0.0; //!< expert-load imbalance proxy
     Seconds migrationTotal = 0.0;
-    Bytes kvBudgetBytes = 0;       //!< pool size; 0 = KV model off
-    std::int64_t preemptions = 0;  //!< recompute-style evictions
+    Bytes kvBudgetBytes = 0;       //!< pool bytes summed; 0 = KV off
+    std::int64_t preemptions = 0;  //!< evictions (recompute or swap)
     std::vector<std::int64_t> preemptionsByClass; //!< per SLO class
-    double meanKvUtilization = 0.0;
-    double peakKvUtilization = 0.0;
+    double meanKvUtilization = 0.0; //!< over every pool's samples
+    double peakKvUtilization = 0.0; //!< max over every pool's samples
+    std::vector<PoolReport> pools;  //!< one entry per engine
+
+    // Disaggregation accounting (zero for single-pool policies).
+    std::int64_t migrated = 0;     //!< contexts moved prefill -> decode
+    Bytes kvTransferBytes = 0;     //!< KV bytes across the pools
+    Seconds kvTransferSeconds = 0.0; //!< wire time of those transfers
+    Seconds transferStallSeconds = 0.0; //!< transferred contexts stuck
+                                        //!< at the decode pool's door
+
+    // Swap-preemption accounting (zero in recompute mode).
+    Bytes swapOutBytes = 0;        //!< KV offloaded to host
+    Bytes swapInBytes = 0;         //!< KV restored from host
+    Seconds swapSeconds = 0.0;     //!< host-link time on the timeline
 };
 
 /**
- * The simulator. step() advances one engine step (or jumps to the
- * next arrival when idle); run() plays the whole horizon and drains.
+ * The simulator. step() advances the next engine step or event jump;
+ * run() plays the whole horizon and drains every pool.
  */
 class ServingSimulator
 {
@@ -139,8 +170,9 @@ class ServingSimulator
     ~ServingSimulator();
 
     /**
-     * Advance the simulation: admit due arrivals, execute one engine
-     * step if there is work, otherwise jump to the next arrival.
+     * Advance the simulation: admit due arrivals and inter-pool
+     * migrations, run every engine that is free and has work at the
+     * current time, otherwise jump to the next event.
      * @return false once the horizon has passed and all work drained.
      */
     bool step();
@@ -157,43 +189,78 @@ class ServingSimulator
     /** Latency collector (valid during and after a run). */
     const ServingMetrics &metrics() const { return metrics_; }
 
-    /** Per-step results recorded so far. */
+    /** Per-step results recorded so far (all pools, start order). */
     const std::vector<ServingStepResult> &stepResults() const
     {
         return steps_;
     }
 
+    /** Engines driving this run: 1, or 2 when disaggregated. */
+    int numEngines() const { return static_cast<int>(engines_.size()); }
+
+    /** Engine `i` (0 = prefill pool when disaggregated). */
+    const ServingEngine &engine(int i) const { return *engines_[i]; }
+
     const ServingConfig &config() const { return config_; }
 
   private:
+    /** A context whose prefill finished, in flight to the decode pool. */
+    struct PendingMigration
+    {
+        Request request;     //!< decode target restored, finish reset
+        Seconds readyAt = 0; //!< prefill finish + wire time
+    };
+
+    /** Per-pool accounting accumulated as the run plays. */
+    struct PoolStats
+    {
+        std::int64_t preemptions = 0;
+        int steps = 0;
+        Accumulator kvUtil;
+    };
+
+    /** Resolve one pool's engine configuration from the run config. */
+    EngineConfig engineConfigFor(const DevicePoolSlice &slice,
+                                 int pool_index) const;
+
     /** Admit every arrival due at or before now_ (horizon-bounded). */
     void pumpArrivals();
 
-    /** Price one planned step on the event engine. */
-    ServingStepResult executeStep(const BatchPlan &plan);
+    /** Hand transferred contexts to the decode pool; set back-pressure. */
+    void pumpMigrations();
 
-    /** Refresh layouts per the active policy; returns migration cost. */
-    Seconds updateLayouts(const std::vector<RoutingMatrix> &routing,
-                          ServingStepResult &result);
+    /** Route one pool's finished requests: metrics, or migration. */
+    void harvestFinished(int pool_index);
+
+    /** Run every free engine with schedulable work at now_.
+     * @return true when at least one engine executed a step. */
+    bool runDueEngines();
+
+    /** Earliest future event (engine finish, arrival, transfer);
+     * +infinity when the run has fully drained. */
+    Seconds nextEventTime() const;
 
     const Cluster &cluster_;
     ServingConfig config_;
-    ContinuousBatcher batcher_;
     ArrivalProcess arrivals_;
     ServingMetrics metrics_;
+    std::vector<std::unique_ptr<ServingEngine>> engines_;
+    std::vector<Seconds> freeAt_;   //!< per engine: busy until
+    std::vector<PoolStats> poolStats_;
+    std::deque<PendingMigration> migrations_; //!< sorted by readyAt
+    std::unordered_map<int, TokenCount> decodeTargets_; //!< id ->
+                                    //!< requested decode tokens while
+                                    //!< the request is in the prefill
+                                    //!< pool (Disaggregated only)
     Request lookahead_;          //!< next not-yet-due arrival
     bool lookaheadValid_ = false;
     bool offeringClosed_ = false;
     Seconds now_ = 0.0;
-    int stepIndex_ = 0;
-    int retunes_ = 0;
     std::int64_t offered_ = 0;
-
-    EpGrouping grouping_;        //!< StaticEp group structure
-    std::vector<RoutingGenerator> generators_; //!< one per sim layer
-    std::vector<ExpertLayout> layouts_;        //!< per sim layer
-    std::vector<RoutingMatrix> aggRouting_;    //!< LAER window sums
-    std::vector<std::unique_ptr<FlexMoePlanner>> flexPlanners_;
+    std::int64_t migrated_ = 0;
+    Bytes kvTransferBytes_ = 0;
+    Seconds kvTransferSeconds_ = 0.0;
+    Seconds transferStallSeconds_ = 0.0;
     std::vector<ServingStepResult> steps_;
 };
 

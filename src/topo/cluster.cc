@@ -58,6 +58,22 @@ Cluster::bw(DeviceId i, DeviceId j) const
     return sameNode(i, j) ? intraBw_ : interBw_;
 }
 
+Cluster
+Cluster::contiguousSlice(DeviceId first, int count) const
+{
+    LAER_CHECK(first >= 0 && count >= 1 && first + count <= numDevices(),
+               "device range [" << first << ", " << first + count
+                                << ") outside the cluster");
+    if (first % devicesPerNode_ == 0 && count % devicesPerNode_ == 0)
+        return Cluster(count / devicesPerNode_, devicesPerNode_,
+                       intraBw_, interBw_, computeFlops_);
+    LAER_CHECK(node(first) == node(first + count - 1),
+               "device range [" << first << ", " << first + count
+                                << ") straddles a node boundary with "
+                                   "partial nodes");
+    return Cluster(1, count, intraBw_, interBw_, computeFlops_);
+}
+
 std::string
 Cluster::describe() const
 {

@@ -74,6 +74,16 @@ class Cluster
     /** Inter-node (IB) unidirectional bandwidth per device, B/s. */
     double interBw() const { return interBw_; }
 
+    /**
+     * Topology of a contiguous device range [first, first + count), as
+     * a standalone Cluster with the same bandwidths and compute. The
+     * range must be node-regular: either whole nodes (count a multiple
+     * of devicesPerNode with first node-aligned) or a span inside one
+     * node — a slice straddling a node boundary with partial nodes has
+     * no two-level geometry and is rejected.
+     */
+    Cluster contiguousSlice(DeviceId first, int count) const;
+
     /** Peak per-device compute throughput, FLOP/s (B_comp). */
     double computeFlops() const { return computeFlops_; }
 
