@@ -75,6 +75,8 @@ constexpr PolicyVariant kDisaggShared = {
 
 bool csv_output = false;
 std::vector<std::string> policy_filter;
+bool seed_overridden = false;
+std::uint64_t seed_override = 0;
 
 /** True when the variant survives the --policy filter. */
 bool
@@ -123,6 +125,10 @@ servingConfig(const PolicyVariant &variant, double rate)
     cfg.routing.deviceJitter = 0.15;
     cfg.retunePeriod = 16;
     cfg.seed = 7;
+    if (seed_overridden) {
+        cfg.seed = seed_override;
+        cfg.arrival.seed = seed_override + 1;
+    }
     return cfg;
 }
 
@@ -243,17 +249,25 @@ disaggSweep(const laer::Cluster &cluster)
 int
 main(int argc, char **argv)
 try {
-    const laer::CliArgs args(argc, argv, {"policy", "csv", "help"});
+    const laer::CliArgs args(argc, argv,
+                             {"policy", "csv", "seed", "help"});
     if (args.has("help")) {
         std::cout
-            << "usage: fig13_serving [--policy=NAME[,NAME...]] [--csv]\n"
+            << "usage: fig13_serving [--policy=NAME[,NAME...]] [--csv] "
+               "[--seed=N]\n"
                "  --policy  run only the named policies; names: "
                "StaticEP, FlexMoE, LAER, Disagg, DisaggShared\n"
-               "  --csv     emit tables as CSV\n";
+               "  --csv     emit tables as CSV\n"
+               "  --seed    routing/arrival seed base (default: the "
+               "paper sweep's 7/2024)\n";
         return 0;
     }
     csv_output = args.has("csv");
     policy_filter = args.getList("policy");
+    if (args.has("seed")) {
+        seed_overridden = true;
+        seed_override = args.getUint("seed", 0);
+    }
     for (const std::string &name : policy_filter) {
         const bool known =
             name == kStaticEp.label || name == kFlexMoe.label ||

@@ -27,6 +27,9 @@
 namespace
 {
 
+bool seed_overridden = false;
+std::uint64_t seed_override = 0;
+
 laer::ServingConfig
 demoConfig(laer::ServingPolicy policy)
 {
@@ -59,6 +62,10 @@ demoConfig(laer::ServingPolicy policy)
     cfg.routing.drift = 0.98;
     cfg.retunePeriod = 16;
     cfg.seed = 3;
+    if (seed_overridden) {
+        cfg.seed = seed_override;
+        cfg.arrival.seed = seed_override + 1;
+    }
     return cfg;
 }
 
@@ -69,14 +76,18 @@ main(int argc, char **argv)
 try {
     using namespace laer;
 
-    const CliArgs args(argc, argv, {"policy", "csv", "help"});
+    const CliArgs args(argc, argv, {"policy", "csv", "seed", "help"});
     if (args.has("help")) {
         std::cout << "usage: serving_demo [--policy=NAME[,NAME...]] "
-                     "[--csv]\n  names: StaticEP, FlexMoE, LAER, "
-                     "Disagg\n";
+                     "[--csv] [--seed=N]\n  names: StaticEP, FlexMoE, "
+                     "LAER, Disagg\n";
         return 0;
     }
     const bool csv = args.has("csv");
+    if (args.has("seed")) {
+        seed_overridden = true;
+        seed_override = args.getUint("seed", 0);
+    }
     const std::vector<std::string> filter = args.getList("policy");
 
     const std::pair<const char *, ServingPolicy> policies[] = {

@@ -32,7 +32,7 @@ for md in README.md docs/*.md; do
     check_links "$md"
 done
 
-for hh in src/serve/*.hh; do
+for hh in src/serve/*.hh src/ctrl/*.hh; do
     if ! grep -q '@file' "$hh"; then
         echo "MISSING @file COMMENT: $hh"
         status=1

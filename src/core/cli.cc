@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/error.hh"
 
@@ -49,6 +50,27 @@ CliArgs::get(const std::string &name, const std::string &fallback) const
         if (flag == name)
             return value;
     return fallback;
+}
+
+std::uint64_t
+CliArgs::getUint(const std::string &name, std::uint64_t fallback) const
+{
+    if (!has(name))
+        return fallback;
+    const std::string value = get(name);
+    LAER_CHECK(!value.empty(), "--" << name << " needs a value");
+    // Digits only: stoull would silently wrap "-1" to 2^64 - 1.
+    LAER_CHECK(value.find_first_not_of("0123456789") ==
+                   std::string::npos,
+               "--" << name << " value '" << value
+                    << "' is not a non-negative whole number");
+    try {
+        return std::stoull(value);
+    } catch (const std::out_of_range &) {
+        LAER_CHECK(false, "--" << name << " value '" << value
+                                << "' does not fit 64 bits");
+    }
+    return fallback; // unreachable
 }
 
 std::vector<std::string>

@@ -13,6 +13,7 @@
 #ifndef LAER_CORE_CLI_HH
 #define LAER_CORE_CLI_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,15 @@ class CliArgs
      * empty when the flag is absent.
      */
     std::vector<std::string> getList(const std::string &name) const;
+
+    /**
+     * Unsigned-integer value of `--name` (e.g. `--seed=42`), or
+     * `fallback` when absent. A malformed or out-of-range value
+     * throws FatalError so the binary fails with a usage message
+     * instead of std::terminate.
+     */
+    std::uint64_t getUint(const std::string &name,
+                          std::uint64_t fallback) const;
 
   private:
     std::vector<std::pair<std::string, std::string>> flags_;

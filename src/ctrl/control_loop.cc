@@ -1,0 +1,131 @@
+#include "ctrl/control_loop.hh"
+
+#include <algorithm>
+
+#include "core/error.hh"
+
+namespace laer
+{
+
+const char *
+autoscalerKindName(AutoscalerKind kind)
+{
+    switch (kind) {
+      case AutoscalerKind::None:
+        return "none";
+      case AutoscalerKind::ThresholdHysteresis:
+        return "threshold";
+      case AutoscalerKind::TargetUtilization:
+        return "target-util";
+    }
+    return "?";
+}
+
+ControlLoop::ControlLoop(ServingSimulator &sim,
+                         const ControlLoopConfig &config)
+    : sim_(sim), config_(config)
+{
+    LAER_CHECK(config_.interval > 0.0,
+               "decision interval must be positive");
+    AutoscalerConfig &ac = config_.autoscaler;
+    ac.maxReplicas = std::min(std::max(ac.maxReplicas, 1),
+                              sim_.replicaSlots());
+    ac.minReplicas = std::min(std::max(ac.minReplicas, 1),
+                              ac.maxReplicas);
+    if (ac.minPoolDevices == 0)
+        // The simulator's floor: expert hosting plus, with the KV
+        // model on, memory feasibility of the shrunk pool's shard.
+        ac.minPoolDevices = sim_.minPoolDevices();
+    if (ac.splitStepDevices == 0)
+        // Split boundaries move whole nodes by default — the only cut
+        // points Cluster::contiguousSlice accepts on a multi-node
+        // cluster.
+        ac.splitStepDevices = std::min(
+            sim_.cluster().devicesPerNode(), sim_.cluster().numDevices());
+    switch (config_.kind) {
+      case AutoscalerKind::None:
+        break;
+      case AutoscalerKind::ThresholdHysteresis:
+        policy_ = std::make_unique<ThresholdHysteresisAutoscaler>(ac);
+        break;
+      case AutoscalerKind::TargetUtilization:
+        policy_ = std::make_unique<TargetUtilizationAutoscaler>(ac);
+        break;
+    }
+    if (policy_ &&
+        sim_.config().policy == ServingPolicy::Disaggregated)
+        LAER_CHECK(!sim_.config().disagg.sharedLayout,
+                   "dynamic split control needs per-pool layouts "
+                   "(disagg.sharedLayout = false)");
+}
+
+ControlState
+ControlLoop::controlState() const
+{
+    ControlState state;
+    state.splitMode =
+        sim_.config().policy == ServingPolicy::Disaggregated;
+    state.activeReplicas = sim_.activeReplicas();
+    state.replicaSlots = sim_.replicaSlots();
+    state.prefillDevices = sim_.prefillDevices();
+    state.totalDevices = sim_.config().batcher.numDevices;
+    state.nodeDevices = config_.autoscaler.splitStepDevices;
+    state.minPoolDevices = config_.autoscaler.minPoolDevices;
+    return state;
+}
+
+void
+ControlLoop::closeWindow(Seconds boundary)
+{
+    const TelemetryWindow window =
+        collector_.collect(sim_, windowStart_, boundary);
+    windowStart_ = boundary;
+    bus_.publish(window);
+
+    ControlWindowSample sample;
+    sample.start = window.start;
+    sample.end = window.end;
+    sample.arrivalRate = window.arrivalRate;
+    sample.activeReplicas = window.activeReplicas;
+    sample.prefillDevices = window.prefillDevices;
+    sample.queueDepth = window.totalQueueDepth();
+    sample.kvUtilization = window.maxKvUtilization();
+    sample.ttftP95 = window.ttftP95;
+    sample.tpotP95 = window.tpotP95;
+    sim_.recordControlWindow(sample);
+
+    if (!policy_ || sim_.reconfigPending())
+        return;
+    const ScalingAction action = policy_->decide(bus_, controlState());
+    switch (action.kind) {
+      case ScalingAction::Kind::None:
+        break;
+      case ScalingAction::Kind::SetReplicas:
+        if (sim_.requestReplicas(action.target))
+            ++actionsTaken_;
+        break;
+      case ScalingAction::Kind::SetSplit:
+        if (sim_.requestSplit(action.target))
+            ++actionsTaken_;
+        break;
+    }
+}
+
+ServingReport
+ControlLoop::run()
+{
+    Seconds boundary = config_.interval;
+    while (sim_.step()) {
+        while (sim_.now() >= boundary) {
+            closeWindow(boundary);
+            boundary += config_.interval;
+        }
+    }
+    // Close the trailing partial window so short runs still get a
+    // series (the collector requires positive length).
+    if (sim_.now() > windowStart_)
+        closeWindow(sim_.now());
+    return sim_.finish();
+}
+
+} // namespace laer

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * ControlLoop — closes the observe/decide/act cycle over a
+ * ServingSimulator.
+ *
+ * The loop drives the simulator's event loop (ServingSimulator::step)
+ * and, every `interval` simulated seconds, closes a telemetry window
+ * (TelemetryCollector -> TelemetryBus), records it into the run's
+ * report, and asks the configured AutoscalerPolicy for an action:
+ * requestReplicas() in replica mode, requestSplit() under
+ * Disaggregated. Decisions are skipped while a previous
+ * reconfiguration is still draining — the simulator's engine
+ * lifecycle (Loading/Active/Draining/Stopped) is the arbiter of when
+ * capacity actually changes, and the resulting ScalingEvents land on
+ * the report's timeline.
+ *
+ * With `kind == AutoscalerKind::None` the loop still collects
+ * telemetry (the per-window series is useful on static runs) but
+ * never acts, and the run is step-for-step identical to calling
+ * ServingSimulator::run() directly.
+ */
+
+#ifndef LAER_CTRL_CONTROL_LOOP_HH
+#define LAER_CTRL_CONTROL_LOOP_HH
+
+#include <memory>
+
+#include "ctrl/autoscaler.hh"
+#include "ctrl/telemetry.hh"
+#include "serve/serving_sim.hh"
+
+namespace laer
+{
+
+/** Which built-in policy the loop runs. */
+enum class AutoscalerKind
+{
+    None,                //!< observe only
+    ThresholdHysteresis, //!< ThresholdHysteresisAutoscaler
+    TargetUtilization,   //!< TargetUtilizationAutoscaler
+};
+
+/** Printable autoscaler-kind name. */
+const char *autoscalerKindName(AutoscalerKind kind);
+
+/** Control-loop knobs. */
+struct ControlLoopConfig
+{
+    Seconds interval = 1.0; //!< decision window length, simulated s
+    AutoscalerKind kind = AutoscalerKind::None;
+    AutoscalerConfig autoscaler;
+};
+
+/**
+ * Drives one simulator through its horizon under closed-loop control.
+ * The loop borrows the simulator (it must outlive the loop) so a
+ * bench can still inspect engines and step results afterwards.
+ */
+class ControlLoop
+{
+  public:
+    /**
+     * @param sim     Simulator to drive; not yet stepped.
+     * @param config  Loop knobs; `autoscaler.maxReplicas` is clamped
+     *                to the simulator's replica slots.
+     */
+    ControlLoop(ServingSimulator &sim, const ControlLoopConfig &config);
+
+    /**
+     * Play the run to completion under control.
+     * @return the simulator's report, including the scaling-event
+     *         timeline and the per-window replica/split series.
+     */
+    ServingReport run();
+
+    /** Telemetry history of the driven run. */
+    const TelemetryBus &telemetry() const { return bus_; }
+
+    /** Scaling actions issued (accepted by the simulator). */
+    int actionsTaken() const { return actionsTaken_; }
+
+  private:
+    /** Close the window ending at `boundary` and maybe act. */
+    void closeWindow(Seconds boundary);
+
+    /** Topology facts for the policy, from the live simulator. */
+    ControlState controlState() const;
+
+    ServingSimulator &sim_;
+    ControlLoopConfig config_;
+    TelemetryBus bus_;
+    TelemetryCollector collector_;
+    std::unique_ptr<AutoscalerPolicy> policy_;
+    Seconds windowStart_ = 0.0;
+    int actionsTaken_ = 0;
+};
+
+} // namespace laer
+
+#endif // LAER_CTRL_CONTROL_LOOP_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * TelemetryBus — the control plane's observation channel.
+ *
+ * Engines (via the simulator accessors) publish one TelemetryWindow
+ * per decision interval: offered arrival rate, per-pool queue depth /
+ * running count / KV utilization, TTFT/TPOT p95 over the window's
+ * completions, and the transfer-stall time accrued between the pools.
+ * The bus keeps the whole history so autoscaler policies can apply
+ * hysteresis (N consecutive windows above a threshold) without
+ * carrying their own ring buffers of raw signals.
+ *
+ * The split between collection and decision is deliberate: the
+ * TelemetryCollector diffs monotone simulator counters (completions,
+ * offered requests, stall seconds, latency-sample vectors) into
+ * per-window deltas, so a policy only ever sees windowed rates — the
+ * same shape a production autoscaler gets from its metrics pipeline.
+ */
+
+#ifndef LAER_CTRL_TELEMETRY_HH
+#define LAER_CTRL_TELEMETRY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hh"
+#include "serve/serving_sim.hh"
+
+namespace laer
+{
+
+/** One pool's signals inside a telemetry window. */
+struct PoolSignal
+{
+    std::string name;           //!< slice name ("prefill", "replica0", ...)
+    int devices = 0;            //!< pool size
+    EngineState state = EngineState::Active;
+    int queueDepth = 0;         //!< waiting requests at window close
+    int running = 0;            //!< running sequences at window close
+    double kvUtilization = 0.0; //!< KV pool utilization at window close
+};
+
+/** Per-window signal bundle published to the bus. */
+struct TelemetryWindow
+{
+    Seconds start = 0.0;
+    Seconds end = 0.0;
+    std::int64_t arrivals = 0;   //!< requests offered in the window
+    double arrivalRate = 0.0;    //!< arrivals / window length
+    std::int64_t completions = 0;
+    Seconds ttftP95 = 0.0;       //!< over the window's completions
+    Seconds tpotP95 = 0.0;
+    Seconds transferStall = 0.0; //!< stall seconds accrued this window
+    int activeReplicas = 0;      //!< live engines at window close
+    int prefillDevices = 0;      //!< current split; 0 when aggregated
+    std::vector<PoolSignal> pools; //!< one entry per engine slot
+
+    /** Waiting requests summed over live pools. */
+    int totalQueueDepth() const;
+
+    /** Running sequences summed over live pools. */
+    int totalRunning() const;
+
+    /** Max KV utilization over live pools. */
+    double maxKvUtilization() const;
+};
+
+/**
+ * Append-only window history. publish() is the only mutation; every
+ * policy reads the same record, so two policies fed the same bus see
+ * the same world.
+ */
+class TelemetryBus
+{
+  public:
+    /** Append one closed window (windows must arrive in time order). */
+    void publish(const TelemetryWindow &window);
+
+    /** True before the first window closes. */
+    bool empty() const { return windows_.empty(); }
+
+    /** Windows published so far, oldest first. */
+    const std::vector<TelemetryWindow> &history() const
+    {
+        return windows_;
+    }
+
+    /** The most recent window; empty() must be false. */
+    const TelemetryWindow &last() const;
+
+  private:
+    std::vector<TelemetryWindow> windows_;
+};
+
+/**
+ * Diffs simulator counters into TelemetryWindows. One collector per
+ * driven simulator; collect() closes the window [start, end) and
+ * advances the internal cursors.
+ */
+class TelemetryCollector
+{
+  public:
+    /**
+     * Snapshot the simulator and close one window.
+     * @param sim    The driven simulator (read-only).
+     * @param start  Window start time.
+     * @param end    Window end time; must be > start.
+     * @return the window's signals, ready to publish.
+     */
+    TelemetryWindow collect(const ServingSimulator &sim, Seconds start,
+                            Seconds end);
+
+  private:
+    std::int64_t lastOffered_ = 0;
+    std::int64_t lastCompleted_ = 0;
+    std::size_t lastTtftIndex_ = 0;
+    std::size_t lastTpotIndex_ = 0;
+    Seconds lastStall_ = 0.0;
+};
+
+} // namespace laer
+
+#endif // LAER_CTRL_TELEMETRY_HH

@@ -78,6 +78,40 @@ evenAllocation(const std::vector<TokenCount> &expert_loads,
 }
 
 std::vector<int>
+deviceShareAllocation(const std::vector<double> &pool_loads,
+                      int total_units, int min_units)
+{
+    const int pools = static_cast<int>(pool_loads.size());
+    LAER_CHECK(pools >= 1, "no pools to allocate units to");
+    LAER_CHECK(min_units >= 1, "every pool needs at least one unit");
+    LAER_CHECK(total_units >= pools * min_units,
+               "unit budget " << total_units << " cannot give "
+                              << pools << " pools " << min_units
+                              << " units each");
+    for (const double load : pool_loads)
+        LAER_CHECK(load >= 0.0, "pool load cannot be negative");
+
+    std::vector<int> units(pools, min_units);
+    // Max-heap on load-per-unit; ties break to the lower pool index so
+    // the allocation is deterministic (greater<> on (-load, index)
+    // would invert the index order, so key on (load, -index)).
+    using Entry = std::pair<double, int>;
+    std::priority_queue<Entry> queue;
+    for (int p = 0; p < pools; ++p)
+        queue.emplace(pool_loads[p] / units[p], -p);
+    for (int granted = pools * min_units; granted < total_units;
+         ++granted) {
+        const auto [avg, neg_index] = queue.top();
+        (void)avg;
+        queue.pop();
+        const int p = -neg_index;
+        ++units[p];
+        queue.emplace(pool_loads[p] / units[p], -p);
+    }
+    return units;
+}
+
+std::vector<int>
 perturbAllocation(std::vector<int> replicas, Rng &rng,
                   int max_per_expert)
 {

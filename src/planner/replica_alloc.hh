@@ -48,6 +48,24 @@ std::vector<int> evenAllocation(const std::vector<TokenCount> &expert_loads,
                                 int n_devices, int capacity);
 
 /**
+ * Alg. 4's priority-queue discipline applied one level up: split
+ * `total_units` indivisible device units (nodes, usually) between a
+ * handful of pools proportionally to their observed load. Every pool
+ * starts at `min_units`; each remaining unit goes to the pool whose
+ * load-per-unit is currently highest (ties to the lower pool index,
+ * so the result is deterministic). The serving control plane uses
+ * this to derive the ideal prefill/decode device split from per-pool
+ * pressure signals.
+ *
+ * @param pool_loads   Non-negative load signal per pool.
+ * @param total_units  Units to hand out; must be >= pools * min_units.
+ * @param min_units    Floor per pool (>= 1 keeps every pool alive).
+ * @return units per pool, summing to total_units.
+ */
+std::vector<int> deviceShareAllocation(const std::vector<double> &pool_loads,
+                                       int total_units, int min_units);
+
+/**
  * Random perturbation used by the tuner (Alg. 2 lines 5-7): move one
  * replica from a random expert holding more than one to a random other
  * expert below `max_per_expert`. Feasibility (every expert keeps >= 1

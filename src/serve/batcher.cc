@@ -120,13 +120,20 @@ int
 ContinuousBatcher::pickVictim(const std::vector<int> &protected_ids,
                               int grower_class) const
 {
-    // Lowest priority = highest SLO class id; ties go to the youngest
-    // (latest admitted, i.e. furthest back in running_). A grower may
-    // only displace requests of its own or a lower-priority class —
-    // when only higher-priority sequences hold the pool, the grower
-    // yields instead (see secureDecodeGrowth).
+    // Lowest priority = highest SLO class id. Within that class the
+    // tie-break depends on the eviction discipline: recompute evicts
+    // the youngest (latest admitted, i.e. furthest back in running_ —
+    // it has the least cache to rebuild so far); swap prefers the
+    // sequence with the FEWEST remaining decode tokens, whose parked
+    // KV comes back for the cheapest remaining work (final ties still
+    // go to the youngest). A grower may only displace requests of its
+    // own or a lower-priority class — when only higher-priority
+    // sequences hold the pool, the grower yields instead (see
+    // secureDecodeGrowth).
+    const bool swap = config_.preemptionMode == PreemptionMode::Swap;
     int best = -1;
     int best_class = -1;
+    TokenCount best_remaining = 0;
     for (int i = 0; i < static_cast<int>(running_.size()); ++i) {
         const Request &r = running_[i];
         if (r.sloClass < grower_class)
@@ -134,9 +141,18 @@ ContinuousBatcher::pickVictim(const std::vector<int> &protected_ids,
         if (std::find(protected_ids.begin(), protected_ids.end(),
                       r.id) != protected_ids.end())
             continue;
-        if (r.sloClass >= best_class) {
+        if (r.sloClass > best_class) {
             best_class = r.sloClass;
             best = i;
+            best_remaining = r.decodeTokens - r.decodeDone;
+            continue;
+        }
+        if (r.sloClass < best_class)
+            continue;
+        const TokenCount remaining = r.decodeTokens - r.decodeDone;
+        if (!swap || remaining <= best_remaining) {
+            best = i;
+            best_remaining = remaining;
         }
     }
     return best;
@@ -365,6 +381,38 @@ ContinuousBatcher::applyStep(const BatchPlan &plan, Seconds finish_time)
 }
 
 std::vector<Request>
+ContinuousBatcher::drainAll()
+{
+    std::vector<Request> out;
+    out.reserve(running_.size() + waitingCount());
+    const auto evict = [this, &out](Request r) {
+        if (kv_)
+            kv_->release(r.id);
+        if (r.swapped) {
+            // Host-parked KV belongs to the old pool's shard layout;
+            // the re-homed sequence rebuilds its cache instead.
+            r.swapped = false;
+            r.swappedBytes = 0;
+        }
+        if (r.prefillDone > 0 || r.decodeDone > 0) {
+            r.restoring = r.decodeDone > 0;
+            r.prefillDone = 0;
+        }
+        out.push_back(r);
+    };
+    for (int c = 0; c < config_.numSloClasses; ++c) {
+        for (const Request &r : running_)
+            if (r.sloClass == c)
+                evict(r);
+        for (const Request &r : waiting_[c])
+            evict(r);
+        waiting_[c].clear();
+    }
+    running_.clear();
+    return out;
+}
+
+std::vector<Request>
 ContinuousBatcher::takeFinished()
 {
     std::vector<Request> out;
@@ -399,6 +447,20 @@ ContinuousBatcher::waitingKvDemand() const
         for (const Request &r : queue)
             demand += kv_->bytesFor(r.contextLength());
     return demand;
+}
+
+TokenCount
+ContinuousBatcher::maxLiveFullContext() const
+{
+    TokenCount max_context = 0;
+    for (const Request &r : running_)
+        max_context =
+            std::max(max_context, r.prefillTokens + r.decodeTokens);
+    for (const auto &queue : waiting_)
+        for (const Request &r : queue)
+            max_context = std::max(max_context,
+                                   r.prefillTokens + r.decodeTokens);
+    return max_context;
 }
 
 Bytes

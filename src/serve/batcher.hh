@@ -163,6 +163,26 @@ class ContinuousBatcher
     std::vector<Request> takeFinished();
 
     /**
+     * Evict every live request so the pool can be reconfigured: the
+     * control plane's drain primitive. Running sequences get the
+     * recompute disposition (their KV lives on devices about to be
+     * re-purposed: the reservation is dropped, prefill progress reset,
+     * and the context replays on whatever engine re-admits them);
+     * host-parked swap state is likewise dropped. Completed-but-not-
+     * yet-collected requests stay in the finished buffer — call
+     * takeFinished() separately.
+     *
+     * @return every waiting and running request, in re-admission
+     *         order: per SLO class (lowest id first), running
+     *         sequences in admission order, then the class's waiting
+     *         FIFO — so re-enqueueing the returned list on another
+     *         batcher preserves scheduling priority. The KV pool is
+     *         empty afterwards and drained evictions do NOT count as
+     *         preemptions.
+     */
+    std::vector<Request> drainAll();
+
+    /**
      * Drain the SLO classes of preemptions since the last call, in
      * eviction order (one entry per event).
      * @return class ids of the preempted requests.
@@ -195,6 +215,11 @@ class ContinuousBatcher
     /** Block-rounded KV bytes the waiting queues will reserve when
      * admitted (their current contexts); 0 when the KV model is off. */
     Bytes waitingKvDemand() const;
+
+    /** Largest FULL context (prompt + requested output) of any live
+     * request — the ceiling a reconfigured pool must still admit;
+     * 0 when no request is live. */
+    TokenCount maxLiveFullContext() const;
 
     /**
      * KV bytes a context of `context` tokens reserves (block-rounded).

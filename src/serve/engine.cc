@@ -15,6 +15,22 @@ namespace laer
 {
 
 const char *
+engineStateName(EngineState state)
+{
+    switch (state) {
+      case EngineState::Loading:
+        return "loading";
+      case EngineState::Active:
+        return "active";
+      case EngineState::Draining:
+        return "draining";
+      case EngineState::Stopped:
+        return "stopped";
+    }
+    return "?";
+}
+
+const char *
 servingPolicyName(ServingPolicy policy)
 {
     switch (policy) {
@@ -73,10 +89,15 @@ transposeVolume(const VolumeMatrix &volume)
 } // namespace
 
 ServingEngine::ServingEngine(const DevicePoolSlice &slice,
-                             const EngineConfig &config)
+                             const EngineConfig &config,
+                             EngineState initial)
     : slice_(slice), config_(config), batcher_(config.batcher),
-      grouping_(makeGrouping(slice_.topo, config_))
+      state_(initial), grouping_(makeGrouping(slice_.topo, config_))
 {
+    LAER_CHECK(initial == EngineState::Active ||
+                   initial == EngineState::Loading,
+               "an engine is born Active or Loading, not "
+                   << engineStateName(initial));
     LAER_CHECK(config_.policy != ServingPolicy::Disaggregated,
                "Disaggregated is a simulator topology, not a pool "
                "layout policy");
@@ -123,6 +144,36 @@ ServingEngine::ServingEngine(const DevicePoolSlice &slice,
 }
 
 ServingEngine::~ServingEngine() = default;
+
+void
+ServingEngine::setReady()
+{
+    LAER_CHECK(state_ == EngineState::Loading,
+               "setReady on a " << engineStateName(state_)
+                                << " engine");
+    state_ = EngineState::Active;
+}
+
+void
+ServingEngine::beginDrain()
+{
+    LAER_CHECK(state_ == EngineState::Active ||
+                   state_ == EngineState::Loading,
+               "beginDrain on a " << engineStateName(state_)
+                                  << " engine");
+    state_ = EngineState::Draining;
+    batcher_.setAdmissionPaused(true);
+}
+
+std::vector<Request>
+ServingEngine::drain()
+{
+    if (state_ != EngineState::Draining)
+        beginDrain();
+    std::vector<Request> evicted = batcher_.drainAll();
+    state_ = EngineState::Stopped;
+    return evicted;
+}
 
 void
 ServingEngine::setLayouts(const std::vector<ExpertLayout> &layouts)

@@ -55,6 +55,31 @@ enum class ServingPolicy
 /** Printable policy name. */
 const char *servingPolicyName(ServingPolicy policy);
 
+/**
+ * Life-cycle state of an engine under the control plane. Engines are
+ * born Active (the static single/dual-pool topologies never leave
+ * that state); reconfiguration walks Loading -> Active ->
+ * Draining -> Stopped:
+ *
+ *  - Loading: the pool's devices are restoring the model's parameter
+ *    shards from host memory; requests may queue but no step runs
+ *    until the simulator's clock passes the load delay.
+ *  - Active: admitting and stepping normally.
+ *  - Draining: admission is closed; at the engine's next idle moment
+ *    the simulator calls drain() and re-homes the live requests.
+ *  - Stopped: devices surrendered; the engine holds no requests.
+ */
+enum class EngineState
+{
+    Loading,
+    Active,
+    Draining,
+    Stopped,
+};
+
+/** Printable engine-state name. */
+const char *engineStateName(EngineState state);
+
 /** Timing/accounting of one engine step. */
 struct ServingStepResult
 {
@@ -113,10 +138,14 @@ class ServingEngine
 {
   public:
     /**
-     * @param slice   Device pool this engine owns (copied).
-     * @param config  Resolved engine configuration.
+     * @param slice    Device pool this engine owns (copied).
+     * @param config   Resolved engine configuration.
+     * @param initial  Active (static topologies), or Loading when the
+     *                 control plane spins the pool up and the model
+     *                 shards are still in flight from host memory.
      */
-    ServingEngine(const DevicePoolSlice &slice, const EngineConfig &config);
+    ServingEngine(const DevicePoolSlice &slice, const EngineConfig &config,
+                  EngineState initial = EngineState::Active);
     ~ServingEngine();
 
     /** Admit a request into the pool's waiting queues. */
@@ -159,6 +188,27 @@ class ServingEngine
     {
         return batcher_.takePreemptedClasses();
     }
+
+    /** Current life-cycle state (Active unless the control plane is
+     * reconfiguring this pool). */
+    EngineState state() const { return state_; }
+
+    /** Loading -> Active: the model's shards have landed. */
+    void setReady();
+
+    /** Active -> Draining: close admission; the owning simulator
+     * completes the drain at the engine's next idle moment. */
+    void beginDrain();
+
+    /**
+     * Draining (or Active) -> Stopped: evict every live request for
+     * re-homing (ContinuousBatcher::drainAll semantics: recompute
+     * disposition, re-admission order preserved). Must only be called
+     * while the engine is idle — no step may be in flight.
+     * @return the evicted requests; completed-but-uncollected requests
+     *         are NOT included (use takeFinished()).
+     */
+    std::vector<Request> drain();
 
     /** The pool's scheduler (KV accessors, admission pause, counts). */
     ContinuousBatcher &batcher() { return batcher_; }
@@ -207,6 +257,7 @@ class ServingEngine
     DevicePoolSlice slice_;
     EngineConfig config_;
     ContinuousBatcher batcher_;
+    EngineState state_ = EngineState::Active;
     int stepIndex_ = 0;
     int retunes_ = 0;
 

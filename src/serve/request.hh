@@ -141,6 +141,14 @@ class ServingMetrics
         return kvUtil_;
     }
 
+    /** TTFT samples in completion order — the control plane slices
+     * suffixes of this for per-window percentiles. */
+    const std::vector<double> &ttftSamples() const { return ttfts_; }
+
+    /** TPOT samples (multi-token completions only) in completion
+     * order. */
+    const std::vector<double> &tpotSamples() const { return tpots_; }
+
     /** Number of requests recorded. */
     std::int64_t completed() const { return completed_; }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 
 #include "core/error.hh"
 #include "serve/kv_cache.hh"
@@ -75,6 +76,26 @@ normalizeConfig(const Cluster &cluster, ServingConfig config)
                        "pools (only the LAER tuner supports the "
                        "leader/follower split)");
         }
+        LAER_CHECK(config.replicas.replicaDevices == 0,
+                   "replica slicing and disaggregation are exclusive "
+                   "simulator topologies");
+    }
+
+    if (config.replicas.replicaDevices > 0) {
+        const int rd = config.replicas.replicaDevices;
+        LAER_CHECK(n % rd == 0, "replica size "
+                                    << rd << " must divide the "
+                                    << n << "-device cluster");
+        LAER_CHECK(rd * config.capacity >= experts,
+                   "each replica must be able to host every expert");
+        const int slots = n / rd;
+        if (config.replicas.initialReplicas == 0)
+            config.replicas.initialReplicas = slots;
+        LAER_CHECK(config.replicas.initialReplicas >= 1 &&
+                       config.replicas.initialReplicas <= slots,
+                   "initial replica count "
+                       << config.replicas.initialReplicas
+                       << " out of range [1, " << slots << "]");
     }
     return config;
 }
@@ -86,21 +107,34 @@ ServingSimulator::ServingSimulator(const Cluster &cluster,
     : cluster_(cluster), config_(normalizeConfig(cluster, config)),
       arrivals_(config_.arrival), metrics_(config_.sloTtft)
 {
-    std::vector<DevicePoolSlice> slices;
     if (config_.policy == ServingPolicy::Disaggregated) {
         const int prefill = config_.disagg.prefillDevices;
-        slices = partitionCluster(
+        slices_ = partitionCluster(
             cluster_, {prefill, cluster_.numDevices() - prefill},
             {"prefill", "decode"});
+    } else if (config_.replicas.replicaDevices > 0) {
+        const int rd = config_.replicas.replicaDevices;
+        const int slots = cluster_.numDevices() / rd;
+        std::vector<int> counts(slots, rd);
+        std::vector<std::string> names;
+        for (int i = 0; i < slots; ++i)
+            names.push_back("replica" + std::to_string(i));
+        slices_ = partitionCluster(cluster_, counts, names);
     } else {
-        slices.push_back(wholeClusterSlice(cluster_));
+        slices_.push_back(wholeClusterSlice(cluster_));
     }
-    for (std::size_t i = 0; i < slices.size(); ++i)
+    for (std::size_t i = 0; i < slices_.size(); ++i)
         engines_.push_back(std::make_unique<ServingEngine>(
-            slices[i],
-            engineConfigFor(slices[i], static_cast<int>(i))));
+            slices_[i],
+            engineConfigFor(slices_[i], static_cast<int>(i))));
     freeAt_.assign(engines_.size(), 0.0);
     poolStats_.resize(engines_.size());
+    // Replica slices beyond the initial count start parked: their
+    // devices are dark until the control plane spins them up.
+    if (config_.replicas.replicaDevices > 0)
+        for (std::size_t i = config_.replicas.initialReplicas;
+             i < engines_.size(); ++i)
+            engines_[i]->drain();
 }
 
 ServingSimulator::~ServingSimulator() = default;
@@ -164,6 +198,381 @@ ServingSimulator::engineConfigFor(const DevicePoolSlice &slice,
     return ec;
 }
 
+Seconds
+ServingSimulator::loadDelayFor(const DevicePoolSlice &slice) const
+{
+    // Every device of the pool restores its own shard of the
+    // inference-time model state (Sec. 3.1 residency: fully sharded
+    // bf16 parameters + the unsharded working set) over its host
+    // link in parallel, so the per-device bytes set the delay.
+    const Bytes per_device =
+        inferenceModelState(config_.model, slice.numDevices(),
+                            config_.capacity)
+            .total();
+    return static_cast<double>(per_device) / config_.hostLinkBw;
+}
+
+bool
+ServingSimulator::poolMemoryFeasible(int devices) const
+{
+    if (config_.hbmPerDevice <= 0)
+        return true;
+    const TokenCount step_tokens = std::max<TokenCount>(
+        1, config_.batcher.tokenBudget / cluster_.numDevices());
+    try {
+        servingMemoryBudget(config_.model, devices, config_.capacity,
+                            config_.hbmPerDevice, step_tokens);
+        return true;
+    } catch (const FatalError &) {
+        return false; // model shard + activations leave no KV pool
+    }
+}
+
+Bytes
+ServingSimulator::poolKvBudgetFor(int devices) const
+{
+    if (config_.hbmPerDevice > 0) {
+        const TokenCount step_tokens = std::max<TokenCount>(
+            1, config_.batcher.tokenBudget / cluster_.numDevices());
+        return servingMemoryBudget(config_.model, devices,
+                                   config_.capacity,
+                                   config_.hbmPerDevice, step_tokens)
+            .kvPoolTotal;
+    }
+    if (config_.batcher.kvBudgetBytes > 0)
+        return config_.batcher.kvBudgetBytes * devices /
+               cluster_.numDevices();
+    return 0; // maxRunning slot mode
+}
+
+Bytes
+ServingSimulator::kvBytesForContext(TokenCount context) const
+{
+    Bytes per_token = 0;
+    TokenCount block = 1;
+    if (config_.hbmPerDevice > 0) {
+        per_token = kvBytesPerToken(config_.model);
+        block = config_.kvBlockTokens;
+    } else if (config_.batcher.kvBudgetBytes > 0) {
+        per_token = config_.batcher.kvBytesPerToken;
+        block = config_.batcher.kvBlockTokens;
+    } else {
+        return 0;
+    }
+    const TokenCount blocks = (context + block - 1) / block;
+    return blocks * block * per_token;
+}
+
+int
+ServingSimulator::minPoolDevices() const
+{
+    int floor = (config_.model.numExperts + config_.capacity - 1) /
+                config_.capacity;
+    // Shards grow as pools shrink, so feasibility is monotone in the
+    // pool size: walk up until the memory budget closes.
+    while (floor < cluster_.numDevices() && !poolMemoryFeasible(floor))
+        ++floor;
+    return floor;
+}
+
+int
+ServingSimulator::poweredDevices() const
+{
+    // Disaggregation re-purposes devices but never releases them;
+    // only replica scale-down turns slices dark.
+    if (config_.policy == ServingPolicy::Disaggregated)
+        return cluster_.numDevices();
+    int devices = 0;
+    for (std::size_t i = 0; i < engines_.size(); ++i)
+        if (engines_[i]->state() != EngineState::Stopped)
+            devices += slices_[i].numDevices();
+    return devices;
+}
+
+void
+ServingSimulator::accruePower(Seconds t)
+{
+    LAER_ASSERT(t >= lastPowerAccrual_, "power accrual went backwards");
+    deviceSeconds_ += (t - lastPowerAccrual_) * poweredDevices();
+    lastPowerAccrual_ = t;
+}
+
+double
+ServingSimulator::deviceSecondsSoFar() const
+{
+    return deviceSeconds_ +
+           (now_ - lastPowerAccrual_) * poweredDevices();
+}
+
+int
+ServingSimulator::activeReplicas() const
+{
+    int live = 0;
+    for (const auto &engine : engines_)
+        if (engine->state() != EngineState::Stopped)
+            ++live;
+    return live;
+}
+
+int
+ServingSimulator::prefillDevices() const
+{
+    return config_.policy == ServingPolicy::Disaggregated
+               ? slices_[0].numDevices()
+               : 0;
+}
+
+bool
+ServingSimulator::reconfigPending() const
+{
+    if (pending_.active)
+        return true;
+    for (const auto &engine : engines_)
+        if (engine->state() == EngineState::Draining)
+            return true;
+    return false;
+}
+
+int
+ServingSimulator::pickEngineForArrival() const
+{
+    // Least-loaded live replica; Loading counts (its queue serves the
+    // moment the shards land), ties go to the lowest slot.
+    int best = -1;
+    int best_load = 0;
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+        const EngineState state = engines_[i]->state();
+        if (state != EngineState::Active && state != EngineState::Loading)
+            continue;
+        const int load = engines_[i]->batcher().waitingCount() +
+                         engines_[i]->batcher().runningCount();
+        if (best < 0 || load < best_load) {
+            best = static_cast<int>(i);
+            best_load = load;
+        }
+    }
+    LAER_ASSERT(best >= 0, "no live replica to dispatch to");
+    return best;
+}
+
+bool
+ServingSimulator::requestReplicas(int target)
+{
+    LAER_CHECK(config_.replicas.replicaDevices > 0,
+               "requestReplicas needs replica slicing "
+               "(ReplicaConfig::replicaDevices)");
+    const int slots = replicaSlots();
+    target = std::min(std::max(target, 1), slots);
+    if (reconfigPending())
+        return false;
+    const int live = activeReplicas();
+    if (target == live)
+        return false;
+
+    if (target > live) {
+        // Scale up: rebuild the lowest parked slots behind the model
+        // load; they accept arrivals immediately and step once loaded.
+        accruePower(now_);
+        Seconds delay = 0.0;
+        int spun = 0;
+        for (std::size_t i = 0; i < engines_.size() &&
+                                live + spun < target; ++i) {
+            if (engines_[i]->state() != EngineState::Stopped)
+                continue;
+            engines_[i] = std::make_unique<ServingEngine>(
+                slices_[i],
+                engineConfigFor(slices_[i], static_cast<int>(i)),
+                EngineState::Loading);
+            const Seconds d = loadDelayFor(slices_[i]);
+            freeAt_[i] = now_ + d;
+            delay = std::max(delay, d);
+            ++spun;
+        }
+        ScalingEvent event;
+        event.requested = now_;
+        event.applied = now_ + delay;
+        event.action = "replicas";
+        event.before = live;
+        event.after = target;
+        event.loadDelay = delay;
+        scalingEvents_.push_back(event);
+    } else {
+        // Scale down: close admission on the highest live slots; the
+        // drain itself completes in applyReconfig() at each victim's
+        // next idle moment.
+        pending_ = PendingReconfig{};
+        pending_.active = true;
+        pending_.target = target;
+        pending_.requestedAt = now_;
+        pending_.before = live;
+        int to_drain = live - target;
+        for (int i = slots - 1; i >= 0 && to_drain > 0; --i) {
+            const EngineState state = engines_[i]->state();
+            if (state != EngineState::Active &&
+                state != EngineState::Loading)
+                continue;
+            if (state == EngineState::Loading)
+                freeAt_[i] = now_; // no step in flight: drain at once
+            engines_[i]->beginDrain();
+            --to_drain;
+        }
+        applyReconfig();
+    }
+    return true;
+}
+
+bool
+ServingSimulator::requestSplit(int prefill_devices)
+{
+    LAER_CHECK(config_.policy == ServingPolicy::Disaggregated,
+               "requestSplit needs a disaggregated run");
+    LAER_CHECK(!config_.disagg.sharedLayout,
+               "dynamic pool sizing cannot rebalance a shared-layout "
+               "run (the pools must stay equal)");
+    const int n = cluster_.numDevices();
+    const int decode = n - prefill_devices;
+    // The floor covers both the expert-hosting constraint and — with
+    // the KV model on — memory feasibility, so an accepted split can
+    // never fail inside the post-drain engine rebuild.
+    const int min_pool = minPoolDevices();
+    if (reconfigPending())
+        return false;
+    if (prefill_devices == slices_[0].numDevices())
+        return false;
+    if (prefill_devices < min_pool || decode < min_pool)
+        return false;
+    if (!cluster_.isNodeRegularSlice(0, prefill_devices) ||
+        !cluster_.isNodeRegularSlice(prefill_devices, decode))
+        return false;
+
+    // Every live context must stay admissible after the shrink: the
+    // biggest FULL context among running/waiting requests, in-flight
+    // migrations and prefill-held decode targets has to fit both new
+    // pools' KV budgets (conservative: the prefill pool only ever
+    // sees prompt + 1, but one ceiling keeps the check simple), or
+    // re-homing would blow up enqueue() after the drain.
+    TokenCount max_ctx = 0;
+    for (const auto &engine : engines_)
+        max_ctx = std::max(max_ctx,
+                           engine->batcher().maxLiveFullContext());
+    for (const PendingMigration &m : migrations_)
+        max_ctx = std::max(max_ctx, m.request.prefillTokens +
+                                        m.request.decodeTokens);
+    for (const auto &[id, target] : decodeTargets_)
+        if (const Request *r = engines_[0]->batcher().find(id))
+            max_ctx = std::max(max_ctx, r->prefillTokens + target);
+    if (max_ctx > 0) {
+        const Bytes need = kvBytesForContext(max_ctx);
+        for (const int pool : {prefill_devices, decode}) {
+            const Bytes budget = poolKvBudgetFor(pool);
+            if (budget > 0 && need > budget)
+                return false;
+        }
+    }
+
+    pending_ = PendingReconfig{};
+    pending_.active = true;
+    pending_.split = true;
+    pending_.target = prefill_devices;
+    pending_.requestedAt = now_;
+    pending_.before = slices_[0].numDevices();
+    pending_.held.assign(2, {});
+    for (int i = 0; i < 2; ++i) {
+        if (engines_[i]->state() == EngineState::Loading)
+            freeAt_[i] = now_; // no step in flight: drain at once
+        engines_[i]->beginDrain();
+    }
+    applyReconfig();
+    return true;
+}
+
+void
+ServingSimulator::recordControlWindow(const ControlWindowSample &sample)
+{
+    windows_.push_back(sample);
+}
+
+void
+ServingSimulator::applyReconfig()
+{
+    // Promote engines whose model shards have landed.
+    for (std::size_t i = 0; i < engines_.size(); ++i)
+        if (engines_[i]->state() == EngineState::Loading &&
+            freeAt_[i] <= now_)
+            engines_[i]->setReady();
+
+    // Complete due drains. A Draining engine with freeAt_ <= now_ has
+    // no step in flight: its live requests take the recompute
+    // disposition and re-home.
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+        if (engines_[i]->state() != EngineState::Draining ||
+            freeAt_[i] > now_)
+            continue;
+        harvestFinished(static_cast<int>(i));
+        accruePower(now_);
+        std::vector<Request> evicted = engines_[i]->drain();
+        if (pending_.split) {
+            pending_.held[i] = std::move(evicted);
+        } else {
+            for (const Request &r : evicted)
+                engines_[pickEngineForArrival()]->enqueue(r);
+            pending_.rehomed += static_cast<int>(evicted.size());
+        }
+    }
+
+    if (!pending_.active)
+        return;
+
+    if (pending_.split) {
+        if (engines_[0]->state() != EngineState::Stopped ||
+            engines_[1]->state() != EngineState::Stopped)
+            return;
+        // Both pools drained: re-partition, rebuild each engine on its
+        // new slice behind the reshard delay, and re-home the held
+        // requests pool-to-pool (prefill work stays prefill work).
+        const int n = cluster_.numDevices();
+        slices_ = partitionCluster(
+            cluster_, {pending_.target, n - pending_.target},
+            {"prefill", "decode"});
+        Seconds delay = 0.0;
+        for (int i = 0; i < 2; ++i) {
+            engines_[i] = std::make_unique<ServingEngine>(
+                slices_[i], engineConfigFor(slices_[i], i),
+                EngineState::Loading);
+            const Seconds d = loadDelayFor(slices_[i]);
+            freeAt_[i] = now_ + d;
+            delay = std::max(delay, d);
+            for (const Request &r : pending_.held[i])
+                engines_[i]->enqueue(r);
+            pending_.rehomed +=
+                static_cast<int>(pending_.held[i].size());
+        }
+        ScalingEvent event;
+        event.requested = pending_.requestedAt;
+        event.applied = now_ + delay;
+        event.action = "split";
+        event.before = pending_.before;
+        event.after = pending_.target;
+        event.loadDelay = delay;
+        event.rehomed = pending_.rehomed;
+        scalingEvents_.push_back(event);
+        pending_ = PendingReconfig{};
+    } else {
+        for (const auto &engine : engines_)
+            if (engine->state() == EngineState::Draining)
+                return;
+        ScalingEvent event;
+        event.requested = pending_.requestedAt;
+        event.applied = now_;
+        event.action = "replicas";
+        event.before = pending_.before;
+        event.after = pending_.target;
+        event.rehomed = pending_.rehomed;
+        scalingEvents_.push_back(event);
+        pending_ = PendingReconfig{};
+    }
+}
+
 void
 ServingSimulator::pumpArrivals()
 {
@@ -181,6 +590,13 @@ ServingSimulator::pumpArrivals()
         }
         if (lookahead_.arrival > now_)
             break;
+        if (config_.policy == ServingPolicy::Disaggregated &&
+            engines_[0]->state() != EngineState::Active &&
+            engines_[0]->state() != EngineState::Loading)
+            // The prefill pool is mid-reconfiguration: the front door
+            // buffers the due arrival until the new pool exists (its
+            // queueing delay lands in TTFT as usual).
+            break;
         if (config_.policy == ServingPolicy::Disaggregated) {
             // The prefill pool runs the request only up to its first
             // token; the requested decode length is restored when the
@@ -189,6 +605,8 @@ ServingSimulator::pumpArrivals()
             Request prefill_only = lookahead_;
             prefill_only.decodeTokens = 1;
             engines_[0]->enqueue(prefill_only);
+        } else if (config_.replicas.replicaDevices > 0) {
+            engines_[pickEngineForArrival()]->enqueue(lookahead_);
         } else {
             engines_[0]->enqueue(lookahead_);
         }
@@ -249,10 +667,13 @@ ServingSimulator::harvestFinished(int pool_index)
 void
 ServingSimulator::pumpMigrations()
 {
-    if (engines_.size() < 2)
+    if (config_.policy != ServingPolicy::Disaggregated)
         return;
     ServingEngine &decode = *engines_[1];
-    while (!migrations_.empty()) {
+    const bool decode_open =
+        decode.state() == EngineState::Active ||
+        decode.state() == EngineState::Loading;
+    while (decode_open && !migrations_.empty()) {
         const PendingMigration &m = migrations_.front();
         if (m.readyAt > now_)
             break;
@@ -264,10 +685,13 @@ ServingSimulator::pumpMigrations()
         migrations_.pop_front();
     }
     // Back-pressure: a transferred context stuck at the decode pool's
-    // door closes prefill admission until the decode pool drains.
+    // door closes prefill admission until the decode pool drains. A
+    // draining prefill pool keeps its admission shut regardless.
     const bool blocked =
         !migrations_.empty() && migrations_.front().readyAt <= now_;
-    engines_[0]->batcher().setAdmissionPaused(blocked);
+    if (engines_[0]->state() == EngineState::Active ||
+        engines_[0]->state() == EngineState::Loading)
+        engines_[0]->batcher().setAdmissionPaused(blocked);
 }
 
 bool
@@ -278,6 +702,8 @@ ServingSimulator::runDueEngines()
         config_.disagg.sharedLayout;
     bool ran = false;
     for (std::size_t i = 0; i < engines_.size(); ++i) {
+        if (engines_[i]->state() != EngineState::Active)
+            continue; // loading, draining or parked
         if (freeAt_[i] > now_ || !engines_[i]->hasWork())
             continue;
         ServingEngine &engine = *engines_[i];
@@ -331,10 +757,21 @@ Seconds
 ServingSimulator::nextEventTime() const
 {
     Seconds t = kNever;
-    for (std::size_t i = 0; i < engines_.size(); ++i)
-        if (engines_[i]->hasWork() && freeAt_[i] > now_)
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+        // Busy engines with work wake at their finish; Loading and
+        // Draining engines wake regardless — the ready/idle moment is
+        // itself the event the control plane is waiting on.
+        const EngineState state = engines_[i]->state();
+        const bool wakes = engines_[i]->hasWork() ||
+                           state == EngineState::Loading ||
+                           state == EngineState::Draining;
+        if (wakes && freeAt_[i] > now_)
             t = std::min(t, freeAt_[i]);
-    if (lookaheadValid_)
+    }
+    // A due-but-held arrival (front door closed during a
+    // reconfiguration) is not a future event; the drain/load wake-ups
+    // above drive the clock until the door reopens.
+    if (lookaheadValid_ && lookahead_.arrival > now_)
         t = std::min(t, lookahead_.arrival);
     if (!migrations_.empty() && migrations_.front().readyAt > now_)
         t = std::min(t, migrations_.front().readyAt);
@@ -344,6 +781,7 @@ ServingSimulator::nextEventTime() const
 bool
 ServingSimulator::step()
 {
+    applyReconfig();
     pumpArrivals();
     pumpMigrations();
     if (runDueEngines())
@@ -357,6 +795,8 @@ ServingSimulator::step()
                         "run ended while a pool holds live requests");
         LAER_ASSERT(migrations_.empty(),
                     "run ended with contexts in flight");
+        LAER_ASSERT(!pending_.active,
+                    "run ended mid-reconfiguration");
         return false;
     }
     LAER_ASSERT(t > now_, "simulation failed to advance");
@@ -369,11 +809,25 @@ ServingSimulator::run()
 {
     while (step()) {
     }
-    // The clock stops at the last event *start*; the run ends when the
-    // last engine drains.
-    for (const Seconds f : freeAt_)
-        now_ = std::max(now_, f);
+    return finish();
+}
 
+ServingReport
+ServingSimulator::finish()
+{
+    // The clock stops at the last event *start*; the run ends when the
+    // last engine drains. A still-Loading engine never served: its
+    // ready time does not extend the run.
+    for (std::size_t i = 0; i < engines_.size(); ++i)
+        if (engines_[i]->state() != EngineState::Loading)
+            now_ = std::max(now_, freeAt_[i]);
+    accruePower(now_);
+    return buildReport();
+}
+
+ServingReport
+ServingSimulator::buildReport() const
+{
     ServingReport report;
     report.policy = config_.policy;
     report.offered = offered_;
@@ -429,6 +883,9 @@ ServingSimulator::run()
     report.kvTransferBytes = kvTransferBytes_;
     report.kvTransferSeconds = kvTransferSeconds_;
     report.transferStallSeconds = transferStallSeconds_;
+    report.deviceSeconds = deviceSecondsSoFar();
+    report.scalingEvents = scalingEvents_;
+    report.windows = windows_;
     return report;
 }
 

@@ -15,6 +15,14 @@
  *  - LaerServe / StaticEp / FlexMoe: one whole-cluster engine running
  *    the respective expert-placement policy, exactly the PR 1-2
  *    behaviour.
+ *  - Aggregated + ReplicaConfig slicing: N whole-model replica
+ *    engines on equal cluster slices, arrivals dispatched to the
+ *    least-loaded live replica. The live count is a runtime quantity:
+ *    the control plane (src/ctrl/) scales it through
+ *    requestReplicas(), each engine walking the
+ *    Loading/Active/Draining/Stopped lifecycle, with spin-ups priced
+ *    as a model load over the host link and drained requests re-homed
+ *    onto the survivors.
  *  - Disaggregated: a prefill pool and a decode pool. Arrivals enter
  *    the prefill pool (chunked prefill only; the completing step emits
  *    the first token); the finished context's KV — contextLength *
@@ -77,6 +85,26 @@ struct DisaggConfig
     ServingPolicy poolPolicy = ServingPolicy::LaerServe;
 };
 
+/**
+ * Replica-autoscaling knobs (aggregated policies only). With
+ * `replicaDevices > 0` the cluster divides into equal contiguous
+ * slices, each a full model replica running the configured policy;
+ * arrivals go to the least-loaded live replica, and the control plane
+ * (src/ctrl/) can scale the live count at runtime. Spinning a replica
+ * up charges a model-load delay: the slice's per-device inference
+ * model state (model/memory.hh) restored over the host link.
+ */
+struct ReplicaConfig
+{
+    /** Devices per replica slice; 0 keeps the classic single
+     * whole-cluster engine. Must divide the cluster, keep slices
+     * node-regular, and give each replica room for every expert. */
+    int replicaDevices = 0;
+
+    /** Replicas live at t = 0; 0 means all slices start live. */
+    int initialReplicas = 0;
+};
+
 /** Full configuration of one serving experiment. */
 struct ServingConfig
 {
@@ -103,7 +131,9 @@ struct ServingConfig
     TunerConfig tuner;         //!< LAER planner knobs
     int flexMaxMoves = 2;      //!< FlexMoE adjustments per step
     DisaggConfig disagg;       //!< pool split (Disaggregated only)
+    ReplicaConfig replicas;    //!< replica slicing (aggregated only)
     double hostLinkBw = kHostLinkBw; //!< PCIe rate for swap preemption
+                               //!< and control-plane model loads
     Seconds sloTtft = 0.5;     //!< TTFT target for goodput accounting
     Seconds horizon = 30.0;    //!< seconds of offered traffic
     std::uint64_t seed = 42;   //!< routing-generator seed base
@@ -119,6 +149,33 @@ struct PoolReport
     std::int64_t preemptions = 0;
     double meanKvUtilization = 0.0;
     double peakKvUtilization = 0.0;
+};
+
+/** One control-plane reconfiguration on the run's timeline. */
+struct ScalingEvent
+{
+    Seconds requested = 0.0; //!< decision time
+    Seconds applied = 0.0;   //!< drains done / capacity usable
+    std::string action;      //!< "replicas" or "split"
+    int before = 0;          //!< replica count, or prefill devices
+    int after = 0;
+    Seconds loadDelay = 0.0; //!< model (re)shard time over hostLinkBw
+    int rehomed = 0;         //!< live requests drained + re-enqueued
+};
+
+/** One control-loop decision window, recorded into the report so a
+ * run carries its replica/split time series. */
+struct ControlWindowSample
+{
+    Seconds start = 0.0;
+    Seconds end = 0.0;
+    double arrivalRate = 0.0;   //!< offered requests/s in the window
+    int activeReplicas = 0;     //!< live engines at window close
+    int prefillDevices = 0;     //!< current split (Disaggregated); 0 else
+    int queueDepth = 0;         //!< waiting requests across pools
+    double kvUtilization = 0.0; //!< max pool KV utilization at close
+    Seconds ttftP95 = 0.0;      //!< over the window's completions
+    Seconds tpotP95 = 0.0;
 };
 
 /** Summary of a full serving run. */
@@ -157,6 +214,12 @@ struct ServingReport
     Bytes swapOutBytes = 0;        //!< KV offloaded to host
     Bytes swapInBytes = 0;         //!< KV restored from host
     Seconds swapSeconds = 0.0;     //!< host-link time on the timeline
+
+    // Control-plane accounting. Static runs carry no events or
+    // windows and deviceSeconds = numDevices * elapsed.
+    double deviceSeconds = 0.0;    //!< integral of powered devices
+    std::vector<ScalingEvent> scalingEvents;
+    std::vector<ControlWindowSample> windows;
 };
 
 /**
@@ -183,6 +246,77 @@ class ServingSimulator
      */
     ServingReport run();
 
+    /**
+     * Finalize a run that was driven via step() (the clock advances to
+     * the last engine's finish, device-seconds close) and build its
+     * report. run() is exactly `while (step()) {}` + finish().
+     * @return the aggregated report.
+     */
+    ServingReport finish();
+
+    // ---- control-plane hooks (src/ctrl/) ------------------------------
+
+    /** Replica slots carved at construction (1 unless
+     * ReplicaConfig::replicaDevices is set; 2 when disaggregated). */
+    int replicaSlots() const { return static_cast<int>(engines_.size()); }
+
+    /** Engines not Stopped — live replicas (or pools). */
+    int activeReplicas() const;
+
+    /** Devices in the prefill pool; 0 for non-disaggregated runs. */
+    int prefillDevices() const;
+
+    /** True while a requested reconfiguration has not fully applied
+     * (an engine is still draining, or a split is pending). */
+    bool reconfigPending() const;
+
+    /**
+     * Ask for `target` live replicas (replica mode only; clamped to
+     * [1, replicaSlots()]). Scale-up activates stopped slices behind a
+     * model-load delay; scale-down closes admission on the
+     * highest-index live slices and drains each at its next idle
+     * moment, re-homing live requests onto the surviving replicas.
+     * @return true when a reconfiguration was initiated; false when
+     *         the target is already met or another one is pending.
+     */
+    bool requestReplicas(int target);
+
+    /**
+     * Ask for a new prefill/decode device split (Disaggregated,
+     * per-pool layouts only). Both pools stop admitting, drain at
+     * their next idle step boundary (running sequences take the
+     * recompute disposition), and the cluster re-partitions; both new
+     * pools come back behind their model-reshard delay with fresh
+     * layouts re-tuned from live traffic.
+     * @param prefill_devices  Devices for the prefill pool; the split
+     *                         must be node-regular and leave each pool
+     *                         room for every expert.
+     * @return true when initiated; false if already at the target, a
+     *         reconfiguration is pending, or the split is infeasible.
+     */
+    bool requestSplit(int prefill_devices);
+
+    /**
+     * Smallest pool this run could operate: every expert must fit the
+     * pool's slots AND, when the KV model is on, the pool's per-device
+     * model shard + activation reserve must leave room for a KV pool
+     * (shards grow as pools shrink). requestSplit() enforces this
+     * floor; the control plane plans against it.
+     */
+    int minPoolDevices() const;
+
+    /** Record one control-loop decision window into the report. */
+    void recordControlWindow(const ControlWindowSample &sample);
+
+    /** Requests offered so far (the control plane's arrival counter). */
+    std::int64_t offeredRequests() const { return offered_; }
+
+    /** Transfer-stall seconds accumulated so far. */
+    Seconds transferStallSoFar() const { return transferStallSeconds_; }
+
+    /** Integral of powered devices over simulated time so far. */
+    double deviceSecondsSoFar() const;
+
     /** Current simulated time. */
     Seconds now() const { return now_; }
 
@@ -202,6 +336,9 @@ class ServingSimulator
     const ServingEngine &engine(int i) const { return *engines_[i]; }
 
     const ServingConfig &config() const { return config_; }
+
+    /** Topology the simulation runs on. */
+    const Cluster &cluster() const { return cluster_; }
 
   private:
     /** A context whose prefill finished, in flight to the decode pool. */
@@ -223,6 +360,38 @@ class ServingSimulator
     EngineConfig engineConfigFor(const DevicePoolSlice &slice,
                                  int pool_index) const;
 
+    /** Model-load delay of spinning a pool of this size up: the
+     * per-device inference model state over the host link. */
+    Seconds loadDelayFor(const DevicePoolSlice &slice) const;
+
+    /** True when a pool of `devices` devices can hold its model shard
+     * and still keep a KV pool (always true with the KV model off). */
+    bool poolMemoryFeasible(int devices) const;
+
+    /** KV budget a pool of `devices` devices would own; 0 when byte
+     * accounting is off. Only valid for memory-feasible sizes. */
+    Bytes poolKvBudgetFor(int devices) const;
+
+    /** Block-rounded KV bytes a context of `context` tokens reserves
+     * under this run's KV parameters; 0 when byte accounting is off. */
+    Bytes kvBytesForContext(TokenCount context) const;
+
+    /** Accrue device-seconds up to `t` (call before any change to the
+     * powered-device count). */
+    void accruePower(Seconds t);
+
+    /** Devices of engines not Stopped. */
+    int poweredDevices() const;
+
+    /** Least-loaded live engine for a fresh arrival (replica mode). */
+    int pickEngineForArrival() const;
+
+    /** Apply due reconfigurations: promote loaded engines, drain due
+     * Draining engines (re-homing their requests), and re-partition
+     * once a pending split's pools have both drained. No-op for
+     * static runs. */
+    void applyReconfig();
+
     /** Admit every arrival due at or before now_ (horizon-bounded). */
     void pumpArrivals();
 
@@ -240,13 +409,35 @@ class ServingSimulator
      * +infinity when the run has fully drained. */
     Seconds nextEventTime() const;
 
+    /** Build the report from the current state (run()/finish()). */
+    ServingReport buildReport() const;
+
     const Cluster &cluster_;
     ServingConfig config_;
     ArrivalProcess arrivals_;
     ServingMetrics metrics_;
+    std::vector<DevicePoolSlice> slices_; //!< slot geometry, by index
     std::vector<std::unique_ptr<ServingEngine>> engines_;
     std::vector<Seconds> freeAt_;   //!< per engine: busy until
     std::vector<PoolStats> poolStats_;
+
+    // Control-plane state. A pending replica scale-down or split is
+    // one in-flight ScalingEvent whose drains have not all completed.
+    struct PendingReconfig
+    {
+        bool active = false;
+        bool split = false;        //!< split vs replica scale-down
+        int target = 0;            //!< prefill devices / replica count
+        Seconds requestedAt = 0.0;
+        int before = 0;
+        int rehomed = 0;
+        std::vector<std::vector<Request>> held; //!< split: per old pool
+    };
+    PendingReconfig pending_;
+    std::vector<ScalingEvent> scalingEvents_;
+    std::vector<ControlWindowSample> windows_;
+    double deviceSeconds_ = 0.0;
+    Seconds lastPowerAccrual_ = 0.0;
     std::deque<PendingMigration> migrations_; //!< sorted by readyAt
     std::unordered_map<int, TokenCount> decodeTargets_; //!< id ->
                                     //!< requested decode tokens while

@@ -74,6 +74,16 @@ Cluster::contiguousSlice(DeviceId first, int count) const
     return Cluster(1, count, intraBw_, interBw_, computeFlops_);
 }
 
+bool
+Cluster::isNodeRegularSlice(DeviceId first, int count) const
+{
+    if (first < 0 || count < 1 || first + count > numDevices())
+        return false;
+    if (first % devicesPerNode_ == 0 && count % devicesPerNode_ == 0)
+        return true;
+    return node(first) == node(first + count - 1);
+}
+
 std::string
 Cluster::describe() const
 {

@@ -84,6 +84,14 @@ class Cluster
      */
     Cluster contiguousSlice(DeviceId first, int count) const;
 
+    /**
+     * True when [first, first + count) has a two-level geometry —
+     * i.e. contiguousSlice() would accept it. The control plane uses
+     * this to snap pool-boundary moves to legal cut points instead of
+     * discovering the constraint as a FatalError mid-run.
+     */
+    bool isNodeRegularSlice(DeviceId first, int count) const;
+
     /** Peak per-device compute throughput, FLOP/s (B_comp). */
     double computeFlops() const { return computeFlops_; }
 

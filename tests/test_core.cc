@@ -1,14 +1,16 @@
 /**
  * @file
  * Unit tests for the core utilities: RNG distributions, descriptive
- * statistics, table rendering and error handling.
+ * statistics, table rendering, CLI flag parsing and error handling.
  */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <sstream>
+#include <vector>
 
+#include "core/cli.hh"
 #include "core/error.hh"
 #include "core/rng.hh"
 #include "core/stats.hh"
@@ -221,6 +223,19 @@ TEST(Error, FatalThrowsCheckMacro)
     EXPECT_THROW(fatal("boom"), FatalError);
     EXPECT_THROW(LAER_CHECK(1 == 2, "must fail"), FatalError);
     EXPECT_NO_THROW(LAER_CHECK(1 == 1, "fine"));
+}
+
+TEST(Cli, GetUintParsesAndRejectsGarbage)
+{
+    const char *argv[] = {"bin", "--seed=42", "--bad=-1",
+                          "--junk=12x", "--huge=99999999999999999999"};
+    const CliArgs args(5, argv, {"seed", "bad", "junk", "huge"});
+    EXPECT_EQ(args.getUint("seed", 7), 42u);
+    EXPECT_EQ(args.getUint("absent", 7), 7u); // fallback
+    // stoull would wrap "-1" to 2^64 - 1; the parser must refuse.
+    EXPECT_THROW(args.getUint("bad", 0), FatalError);
+    EXPECT_THROW(args.getUint("junk", 0), FatalError);
+    EXPECT_THROW(args.getUint("huge", 0), FatalError);
 }
 
 } // namespace

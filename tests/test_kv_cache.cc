@@ -266,6 +266,57 @@ TEST(KvBatcher, LowerPriorityClassEvictedBeforeYoungerHighPriority)
     }
 }
 
+TEST(KvBatcher, SwapModePrefersVictimWithFewestRemainingDecodeTokens)
+{
+    // Three same-class requests, prompts of 4 (pool 12 = all three
+    // prompts exactly). After the prefill step everyone has emitted
+    // its first token; the next step's decode growth makes request 0
+    // (the eldest, so the first grower) evict someone. Request 1 has
+    // the fewest remaining decode tokens (3 - 1 = 2) and request 2,
+    // though youngest, still owes 7 — under swap the cheap-restore
+    // rule picks request 1.
+    BatcherConfig cfg = kvBatcherConfig(12);
+    cfg.preemptionMode = PreemptionMode::Swap;
+    ContinuousBatcher batcher(cfg);
+    batcher.enqueue(makeRequest(0, 0.0, 4, 8));
+    batcher.enqueue(makeRequest(1, 0.1, 4, 3));
+    batcher.enqueue(makeRequest(2, 0.2, 4, 8));
+
+    batcher.applyStep(batcher.nextBatch(), 0.1); // prefills complete
+    EXPECT_EQ(batcher.runningCount(), 3);
+
+    const BatchPlan plan = batcher.nextBatch(); // growth evicts one
+    (void)plan;
+    ASSERT_EQ(batcher.takePreemptedClasses().size(), 1u);
+    const Request *victim = batcher.find(1);
+    ASSERT_NE(victim, nullptr);
+    EXPECT_EQ(victim->preemptions, 1);
+    EXPECT_TRUE(victim->swapped);
+    EXPECT_EQ(batcher.find(2)->preemptions, 0);
+}
+
+TEST(KvBatcher, RecomputeModeStillEvictsTheYoungest)
+{
+    // The identical scenario under the default recompute rule picks
+    // the youngest (request 2) regardless of remaining work — the
+    // PR 1-3 behaviour is unchanged.
+    BatcherConfig cfg = kvBatcherConfig(12);
+    ContinuousBatcher batcher(cfg);
+    batcher.enqueue(makeRequest(0, 0.0, 4, 8));
+    batcher.enqueue(makeRequest(1, 0.1, 4, 3));
+    batcher.enqueue(makeRequest(2, 0.2, 4, 8));
+
+    batcher.applyStep(batcher.nextBatch(), 0.1);
+    const BatchPlan plan = batcher.nextBatch();
+    (void)plan;
+    ASSERT_EQ(batcher.takePreemptedClasses().size(), 1u);
+    const Request *victim = batcher.find(2);
+    ASSERT_NE(victim, nullptr);
+    EXPECT_EQ(victim->preemptions, 1);
+    EXPECT_TRUE(victim->restoring);
+    EXPECT_EQ(batcher.find(1)->preemptions, 0);
+}
+
 TEST(KvBatcher, LowPriorityGrowerYieldsInsteadOfEvictingHigherClass)
 {
     // A class-0 (high-priority) request holds most of the pool while
