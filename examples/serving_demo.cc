@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,8 @@ namespace
 
 bool seed_overridden = false;
 std::uint64_t seed_override = 0;
+int threads_flag = 0;            // --threads; 0 = hardware concurrency
+double tuner_budget_ms = 0.0;    // --tuner-budget-ms; 0 = unbudgeted
 
 laer::ServingConfig
 demoConfig(laer::ServingPolicy policy)
@@ -61,6 +64,8 @@ demoConfig(laer::ServingPolicy policy)
     cfg.routing.skew = 1.2;
     cfg.routing.drift = 0.98;
     cfg.retunePeriod = 16;
+    cfg.threads = threads_flag;
+    cfg.tunerBudgetMs = tuner_budget_ms;
     cfg.seed = 3;
     if (seed_overridden) {
         cfg.seed = seed_override;
@@ -76,11 +81,16 @@ main(int argc, char **argv)
 try {
     using namespace laer;
 
-    const CliArgs args(argc, argv, {"policy", "csv", "seed", "help"});
+    const CliArgs args(argc, argv,
+                       {"policy", "csv", "seed", "threads",
+                        "tuner-budget-ms", "help"});
     if (args.has("help")) {
         std::cout << "usage: serving_demo [--policy=NAME[,NAME...]] "
-                     "[--csv] [--seed=N]\n  names: StaticEP, FlexMoE, "
-                     "LAER, Disagg\n";
+                     "[--csv] [--seed=N] [--threads=N] "
+                     "[--tuner-budget-ms=MS]\n  names: StaticEP, "
+                     "FlexMoE, LAER, Disagg\n  --threads=0 uses the "
+                     "hardware concurrency (results are identical "
+                     "for any value)\n";
         return 0;
     }
     const bool csv = args.has("csv");
@@ -88,6 +98,9 @@ try {
         seed_overridden = true;
         seed_override = args.getUint("seed", 0);
     }
+    threads_flag = static_cast<int>(args.getUint("threads", 0));
+    tuner_budget_ms =
+        static_cast<double>(args.getUint("tuner-budget-ms", 0));
     const std::vector<std::string> filter = args.getList("policy");
 
     const std::pair<const char *, ServingPolicy> policies[] = {
@@ -116,6 +129,7 @@ try {
               << "Workload: bursty arrivals, 30 req/s mean, skewed "
                  "drifting routing\n\n";
 
+    std::vector<std::string> budget_lines;
     Table summary("Serving policies, 10 s of traffic + drain");
     summary.setHeader({"policy", "completed", "ttft_p50_ms",
                        "ttft_p99_ms", "tpot_p50_ms", "goodput_tok/s",
@@ -140,11 +154,26 @@ try {
                          (1LL << 30),
                      2);
         summary.cell(r.retunes);
+        // Planner wall-time vs budget, only when a budget was asked
+        // for (keeps the default output stable).
+        if (tuner_budget_ms > 0.0 && r.retunes > 0) {
+            std::ostringstream line;
+            line << "[" << label << "] tuner wall/retune: mean "
+                 << r.retuneWallMeanMs << " ms, max "
+                 << r.retuneWallMaxMs << " ms, "
+                 << r.retuneBudgetOverruns << "/" << r.retunes
+                 << " over the " << tuner_budget_ms << " ms budget";
+            budget_lines.push_back(line.str());
+        }
     }
     if (csv)
         summary.printCsv(std::cout);
     else
         summary.print(std::cout);
+    // Keep --csv stdout machine-readable: wall-time summaries go to
+    // stderr there.
+    for (const std::string &line : budget_lines)
+        (csv ? std::cerr : std::cout) << line << "\n";
 
     if (selected("LAER")) {
         // Narrate the first LAER engine steps.

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_tab04.json run against the committed baseline.
+
+Usage:
+    bench_diff.py CURRENT BASELINE [--max-ratio R]
+
+Fails (exit 1) when:
+  * either file is missing, empty, or not the expected shape;
+  * the current run has no scales in common with the baseline;
+  * any compared wall-time metric regresses by more than R (default
+    2.0) at a scale present in both files.
+
+Only the sparse/parallel hot-path metrics are compared — the dense
+arms exist to document the gap, and CI machines differ enough that
+absolute dense wall times are noise. Speedups going *up* never fail.
+"""
+
+import argparse
+import json
+import sys
+
+COMPARED_METRICS = (
+    "step_sparse_ms",
+    "retune_sparse_ms",
+    "serve_retune_wall_mean_ms",
+)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_diff: cannot read {path}: {err}")
+    scales = data.get("scales")
+    if not isinstance(scales, list) or not scales:
+        sys.exit(f"bench_diff: {path} has no scales")
+    return {int(s["devices"]): s for s in scales}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail when current > ratio * baseline")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+    common = sorted(set(current) & set(baseline))
+    if not common:
+        sys.exit("bench_diff: no device scales in common")
+
+    failures = []
+    for devices in common:
+        for metric in COMPARED_METRICS:
+            cur = float(current[devices].get(metric, 0.0))
+            base = float(baseline[devices].get(metric, 0.0))
+            if base <= 0.0:
+                continue  # metric absent or unbudgeted in baseline
+            ratio = cur / base
+            status = "FAIL" if ratio > args.max_ratio else "ok"
+            print(f"{devices:>5} devices  {metric:<26} "
+                  f"{base:>10.3f} -> {cur:>10.3f} ms  "
+                  f"({ratio:.2f}x)  {status}")
+            if ratio > args.max_ratio:
+                failures.append((devices, metric, ratio))
+
+    if failures:
+        print(f"\nbench_diff: {len(failures)} metric(s) regressed "
+              f"more than {args.max_ratio}x", file=sys.stderr)
+        return 1
+    print(f"\nbench_diff: OK ({len(common)} scale(s) compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,6 +65,48 @@ a2aBottleneckTime(const Cluster &cluster, const VolumeMatrix &volume)
     return kCollectiveAlpha + busiest;
 }
 
+void
+A2aPortLoads::reset(int n_devices)
+{
+    const auto n = static_cast<std::size_t>(n_devices);
+    sendIntra.assign(n, 0);
+    sendInter.assign(n, 0);
+    recvIntra.assign(n, 0);
+    recvInter.assign(n, 0);
+}
+
+Seconds
+a2aBottleneckTimeFromLoads(const Cluster &cluster,
+                           const A2aPortLoads &loads, bool transpose)
+{
+    const int n = cluster.numDevices();
+    LAER_ASSERT(static_cast<int>(loads.sendIntra.size()) == n &&
+                    static_cast<int>(loads.recvIntra.size()) == n,
+                "port loads do not match cluster");
+    const std::vector<Bytes> &send_intra =
+        transpose ? loads.recvIntra : loads.sendIntra;
+    const std::vector<Bytes> &send_inter =
+        transpose ? loads.recvInter : loads.sendInter;
+    const std::vector<Bytes> &recv_intra =
+        transpose ? loads.sendIntra : loads.recvIntra;
+    const std::vector<Bytes> &recv_inter =
+        transpose ? loads.sendInter : loads.recvInter;
+    Seconds busiest = 0.0;
+    for (DeviceId d = 0; d < n; ++d) {
+        const auto i = static_cast<std::size_t>(d);
+        const Seconds send_t =
+            static_cast<double>(send_intra[i]) / cluster.intraBw() +
+            static_cast<double>(send_inter[i]) / cluster.interBw();
+        const Seconds recv_t =
+            static_cast<double>(recv_intra[i]) / cluster.intraBw() +
+            static_cast<double>(recv_inter[i]) / cluster.interBw();
+        busiest = std::max({busiest, send_t, recv_t});
+    }
+    if (busiest == 0.0)
+        return 0.0;
+    return kCollectiveAlpha + busiest;
+}
+
 Seconds
 a2aUniformTime(const Cluster &cluster, const std::vector<DeviceId> &group,
                Bytes bytes_per_pair)

@@ -50,6 +50,37 @@ Seconds a2aBottleneckTime(const Cluster &cluster,
                           const VolumeMatrix &volume);
 
 /**
+ * Per-device port occupancy of one All-to-All, split by port class —
+ * the four integer byte sums a2aBottleneckTime folds a dense
+ * VolumeMatrix down to. Sparse plan pricing fills these directly
+ * (planner/routing_plan_sparse.hh) so the O(N^2) matrix never exists;
+ * because the sums are exact integers the resulting times are
+ * bit-identical to the dense path.
+ */
+struct A2aPortLoads
+{
+    std::vector<Bytes> sendIntra; //!< bytes to same-node peers
+    std::vector<Bytes> sendInter; //!< bytes to other-node peers
+    std::vector<Bytes> recvIntra;
+    std::vector<Bytes> recvInter;
+
+    /** Resize to n devices and zero every counter (storage reused). */
+    void reset(int n_devices);
+};
+
+/**
+ * a2aBottleneckTime evaluated from precomputed port loads.
+ * @param cluster    Topology providing the two port bandwidths.
+ * @param loads      Per-device byte sums (diagonal traffic excluded).
+ * @param transpose  Price the reversed (combine) direction: send and
+ *                   receive roles swap, which is exactly the transpose
+ *                   of the underlying volume matrix.
+ */
+Seconds a2aBottleneckTimeFromLoads(const Cluster &cluster,
+                                   const A2aPortLoads &loads,
+                                   bool transpose = false);
+
+/**
  * Balanced All-to-All over a device group where every device exchanges
  * `bytes_per_pair` with every other member (FSEP unshard/reshard uses
  * exactly this pattern). `group` holds global device ids.

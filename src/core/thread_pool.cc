@@ -1,0 +1,145 @@
+#include "core/thread_pool.hh"
+
+#include <algorithm>
+
+namespace laer
+{
+
+namespace
+{
+
+/** True on threads owned by a pool; nested parallelFor from such a
+ * thread must run inline instead of waiting on its own batch. */
+thread_local bool tl_pool_worker = false;
+
+} // namespace
+
+int
+ThreadPool::resolveThreads(int requested)
+{
+    if (requested > 0)
+        return requested;
+    if (requested < 0)
+        return 1; // clamp nonsense to serial, not to the whole machine
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    const int total = resolveThreads(threads);
+    workers_.reserve(static_cast<std::size_t>(std::max(0, total - 1)));
+    for (int t = 0; t < total - 1; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::runIndices()
+{
+    for (;;) {
+        const int i = next_.fetch_add(1, std::memory_order_acq_rel);
+        if (i >= count_)
+            return;
+        try {
+            (*fn_)(i);
+        } catch (...) {
+            errors_[static_cast<std::size_t>(i)] =
+                std::current_exception();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tl_pool_worker = true;
+    std::unique_lock<std::mutex> lock(mutex_);
+    std::uint64_t seen = 0;
+    for (;;) {
+        wake_.wait(lock,
+                   [&] { return stop_ || epoch_ != seen; });
+        if (stop_)
+            return;
+        seen = epoch_;
+        // A worker may wake after the submitter already drained and
+        // retired the batch; entering runIndices then would race with
+        // the next batch's setup. live_ flips only under the mutex,
+        // and setup only runs once every registered worker has
+        // deregistered, so fn_/count_ are never written while any
+        // thread can read them.
+        if (!live_)
+            continue;
+        ++active_;
+        lock.unlock();
+        runIndices();
+        lock.lock();
+        --active_;
+        if (active_ == 0 && next_.load(std::memory_order_acquire) >=
+                                count_)
+            done_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(int count, const std::function<void(int)> &fn)
+{
+    if (count <= 0)
+        return;
+    // Serial path: no workers, tiny batch, or nested call from a
+    // worker thread (waiting on our own batch would deadlock).
+    if (workers_.empty() || count == 1 || tl_pool_worker) {
+        for (int i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    // One batch at a time: a nested call from the submitting thread
+    // (or a concurrent submitter) runs serially inline instead of
+    // clobbering the in-flight batch.
+    bool idle = false;
+    if (!busy_.compare_exchange_strong(idle, true)) {
+        for (int i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    count_ = count;
+    errors_.assign(static_cast<std::size_t>(count), nullptr);
+    next_.store(0, std::memory_order_release);
+    ++epoch_;
+    live_ = true;
+    wake_.notify_all();
+    lock.unlock();
+
+    runIndices(); // the submitting thread participates
+
+    lock.lock();
+    done_.wait(lock, [&] {
+        return active_ == 0 &&
+               next_.load(std::memory_order_acquire) >= count_;
+    });
+    live_ = false;
+    fn_ = nullptr;
+    std::vector<std::exception_ptr> errors;
+    errors.swap(errors_);
+    lock.unlock();
+    busy_.store(false);
+
+    for (const std::exception_ptr &err : errors)
+        if (err)
+            std::rethrow_exception(err);
+}
+
+} // namespace laer

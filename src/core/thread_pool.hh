@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Minimal fixed-size thread pool for the planner/serving hot path.
+ *
+ * The pool exists for one purpose: deterministic fan-out of
+ * independent, index-addressed work items (tuner scheme evaluations,
+ * per-layer tune/route passes) without per-call thread spawning.
+ * parallelFor(count, fn) runs fn(0..count-1) across the workers plus
+ * the calling thread and blocks until every index finished. Results
+ * must be written to per-index slots by the caller; reductions happen
+ * serially afterwards, so the outcome is independent of the thread
+ * count — the contract the tuner's "same winner regardless of
+ * --threads" guarantee rests on.
+ *
+ * Nested parallelFor calls from inside a worker run serially inline
+ * (no deadlock, no oversubscription). Exceptions thrown by fn are
+ * captured per index and the lowest-index one is rethrown after the
+ * batch completes, so error behaviour is deterministic too.
+ */
+
+#ifndef LAER_CORE_THREAD_POOL_HH
+#define LAER_CORE_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace laer
+{
+
+/** Fixed-size worker pool with a blocking, order-preserving
+ * parallelFor. Construction spawns the workers; destruction joins
+ * them. Not copyable or movable. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads  Total concurrency including the calling thread;
+     *                 0 picks std::thread::hardware_concurrency().
+     *                 threads <= 1 spawns no workers (parallelFor runs
+     *                 serially).
+     */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total concurrency: workers + the calling thread. */
+    int numThreads() const
+    {
+        return static_cast<int>(workers_.size()) + 1;
+    }
+
+    /**
+     * Run fn(i) for every i in [0, count), distributing indices
+     * dynamically over the workers and the calling thread; blocks
+     * until all indices completed. Exceptions are collected per index
+     * and the lowest-index one is rethrown once the batch has
+     * finished (remaining indices still run). Safe to call from
+     * inside a worker (runs serially inline).
+     * @param count  Number of independent work items.
+     * @param fn     Item body; must only write per-index state.
+     */
+    void parallelFor(int count, const std::function<void(int)> &fn);
+
+    /** Resolve a requested thread count: 0 -> hardware concurrency,
+     * otherwise the value itself (clamped to >= 1). */
+    static int resolveThreads(int requested);
+
+  private:
+    void workerLoop();
+
+    /** Grab-and-run loop shared by workers and the submitting
+     * thread. */
+    void runIndices();
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+
+    // One batch at a time, guarded by mutex_ except for the atomic
+    // index counter that workers race on.
+    const std::function<void(int)> *fn_ = nullptr;
+    std::atomic<bool> busy_{false};
+    std::atomic<int> next_{0};
+    int count_ = 0;
+    int active_ = 0;         //!< workers currently inside runIndices
+    std::uint64_t epoch_ = 0;
+    bool live_ = false;      //!< current epoch's batch still running;
+                             //!< late wakers must not join a retired
+                             //!< batch (its fn_/count_ are being
+                             //!< reused by the next setup)
+    bool stop_ = false;
+    std::vector<std::exception_ptr> errors_;
+};
+
+} // namespace laer
+
+#endif // LAER_CORE_THREAD_POOL_HH

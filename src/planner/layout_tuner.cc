@@ -5,6 +5,7 @@
 
 #include "core/error.hh"
 #include "core/rng.hh"
+#include "core/thread_pool.hh"
 #include "planner/lite_routing.hh"
 #include "planner/relocation.hh"
 #include "planner/replica_alloc.hh"
@@ -42,22 +43,40 @@ tuneExpertLayout(const Cluster &cluster, const RoutingMatrix &routing,
 
     // Alg. 2 lines 9-15: place, route, score, keep the best. The
     // inner loop uses the fused route-and-score pass; the dense plan
-    // is materialised once, for the winning layout only.
+    // is materialised once, for the winning layout only. Scheme
+    // evaluations are independent, so they fan out over the optional
+    // worker pool into per-scheme slots; the winner is then reduced
+    // serially in scheme order (first strictly-cheaper wins), which
+    // makes the decision identical for any thread count.
+    const int schemes = static_cast<int>(replicas_set.size());
+    std::vector<ExpertLayout> layouts(replicas_set.size());
+    std::vector<CostBreakdown> costs(replicas_set.size());
+    const auto evaluate = [&](int s) {
+        const auto i = static_cast<std::size_t>(s);
+        layouts[i] = expertRelocation(cluster, replicas_set[i], loads,
+                                      config.capacity);
+        costs[i] = (config.fastScoring
+                        ? scoreLiteRoutingFast(cluster, routing,
+                                               layouts[i], config.cost)
+                        : scoreLiteRouting(cluster, routing,
+                                           layouts[i], config.cost))
+                       .cost;
+    };
+    if (config.pool != nullptr)
+        config.pool->parallelFor(schemes, evaluate);
+    else
+        for (int s = 0; s < schemes; ++s)
+            evaluate(s);
+
+    std::size_t winner = 0;
+    for (std::size_t s = 1; s < layouts.size(); ++s)
+        if (costs[s].total() < costs[winner].total())
+            winner = s;
+
     LayoutDecision best;
-    bool have_best = false;
-    for (const auto &replicas : replicas_set) {
-        ExpertLayout layout =
-            expertRelocation(cluster, replicas, loads, config.capacity);
-        const LiteRoutingScore score =
-            scoreLiteRouting(cluster, routing, layout, config.cost);
-        if (!have_best || score.cost.total() < best.cost.total()) {
-            best.layout = std::move(layout);
-            best.cost = score.cost;
-            have_best = true;
-        }
-    }
-    best.schemesTried = static_cast<int>(replicas_set.size());
-    LAER_ASSERT(have_best, "tuner evaluated no schemes");
+    best.layout = std::move(layouts[winner]);
+    best.cost = costs[winner];
+    best.schemesTried = schemes;
     if (config.buildPlan)
         best.plan = liteRouting(cluster, routing, best.layout);
     return best;

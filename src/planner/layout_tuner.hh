@@ -22,6 +22,8 @@
 namespace laer
 {
 
+class ThreadPool;
+
 /** Tuner knobs; defaults match the paper's configuration. */
 struct TunerConfig
 {
@@ -35,6 +37,18 @@ struct TunerConfig
     bool buildPlan = true;
     std::uint64_t seed = 1;  //!< perturbation randomness
     CostParams cost;         //!< layer workload constants
+    /** Optional worker pool (core/thread_pool.hh) the scheme set is
+     * scored on; null scores serially. The winner is reduced in
+     * scheme order either way, so the decision is identical for any
+     * thread count. Non-owning. */
+    ThreadPool *pool = nullptr;
+    /** Score schemes with the node-aggregated scorer
+     * (scoreLiteRoutingFast) — the 512-1024-device configuration.
+     * Mathematically identical costs with different (tighter)
+     * floating-point rounding, so machine-precision scheme ties may
+     * resolve differently than the seed path; off by default to keep
+     * historical outputs byte-for-byte. */
+    bool fastScoring = false;
 };
 
 /** Result of one tuner invocation. */

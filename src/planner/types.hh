@@ -7,6 +7,11 @@
  * A[d][e]  — number of replicas of expert e restored on device d
  *            (0/1 in practice; counts are supported for robustness).
  * S[i][j][k] — tokens from device i for expert j sent to device k.
+ *
+ * RoutingPlan stores S dense — the reference semantics, fine up to a
+ * few hundred devices. The serving/tuner hot path uses the compressed
+ * sibling in planner/routing_plan_sparse.hh, which is asserted
+ * equivalent entry-for-entry.
  */
 
 #ifndef LAER_PLANNER_TYPES_HH

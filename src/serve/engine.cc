@@ -1,10 +1,12 @@
 #include "serve/engine.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "comm/collectives.hh"
 #include "core/error.hh"
 #include "core/stats.hh"
+#include "core/thread_pool.hh"
 #include "planner/lite_routing.hh"
 #include "planner/relocation.hh"
 #include "planner/replica_alloc.hh"
@@ -115,6 +117,19 @@ ServingEngine::ServingEngine(const DevicePoolSlice &slice,
         aggRouting_.emplace_back(slice_.numDevices(), experts);
     }
 
+    // Per-layer hot-path scratch (engine.hh: sparse step pricing).
+    const auto layers =
+        static_cast<std::size_t>(config_.simulatedLayers);
+    replicaIndex_.resize(layers);
+    indexDirty_.assign(layers, 1);
+    sparsePlans_.resize(layers);
+    portLoads_.resize(layers);
+    recvTokens_.resize(layers);
+    recvDouble_.resize(layers);
+    layerDispatch_.assign(layers, 0.0);
+    layerCombine_.assign(layers, 0.0);
+    layerImbalance_.assign(layers, 0.0);
+
     switch (config_.policy) {
       case ServingPolicy::StaticEp:
         layouts_.assign(config_.simulatedLayers,
@@ -185,6 +200,24 @@ ServingEngine::setLayouts(const std::vector<ExpertLayout> &layouts)
                        layout.numExperts() == config_.model.numExperts,
                    "adopted layout does not match the pool geometry");
     layouts_ = layouts;
+    invalidateIndexes();
+}
+
+void
+ServingEngine::invalidateIndexes()
+{
+    std::fill(indexDirty_.begin(), indexDirty_.end(), 1);
+}
+
+void
+ServingEngine::runLayers(const std::function<void(int)> &fn)
+{
+    if (config_.pool != nullptr) {
+        config_.pool->parallelFor(config_.simulatedLayers, fn);
+        return;
+    }
+    for (int l = 0; l < config_.simulatedLayers; ++l)
+        fn(l);
 }
 
 void
@@ -218,16 +251,31 @@ ServingEngine::updateLayouts(const std::vector<RoutingMatrix> &routing,
         // traffic while steps keep executing, and FSEP restores the
         // new replicas from parameter shards without a stall. A
         // follower engine (shared-layout disaggregation) skips the
-        // tune and waits for setLayouts().
+        // tune and waits for setLayouts(). Layers tune independently,
+        // so the solve fans out over the configured pool; each layer
+        // writes only its own slots, keeping the outcome identical
+        // for any thread count.
         if (config_.tuningEnabled && stepIndex_ > 0 &&
             stepIndex_ % config_.retunePeriod == 0) {
-            for (int l = 0; l < config_.simulatedLayers; ++l) {
+            const auto wall_start =
+                std::chrono::steady_clock::now();
+            runLayers([&](int l) {
                 const LayoutDecision decision = tuneExpertLayout(
                     slice_.topo, aggRouting_[l], config_.tuner);
                 layouts_[l] = decision.layout;
                 aggRouting_[l] = RoutingMatrix(
                     slice_.numDevices(), config_.model.numExperts);
-            }
+                indexDirty_[static_cast<std::size_t>(l)] = 1;
+            });
+            RetuneWallSample sample;
+            sample.simTime = result.start;
+            sample.wallMs =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
+            sample.overBudget = config_.tunerBudgetMs > 0.0 &&
+                                sample.wallMs > config_.tunerBudgetMs;
+            retuneWall_.push_back(sample);
             result.retuned = true;
             ++retunes_;
         }
@@ -247,6 +295,7 @@ ServingEngine::updateLayouts(const std::vector<RoutingMatrix> &routing,
                              .migrationTime;
             layouts_[l] = flexPlanners_[l]->layout();
         }
+        invalidateIndexes();
         return migration;
       }
 
@@ -276,24 +325,60 @@ ServingEngine::executeStep(const BatchPlan &plan, Seconds start)
     for (TokenCount i = 0; i < res.tokens % n; ++i)
         share[(stepIndex_ + static_cast<int>(i)) % n] += 1;
 
-    // Per-layer gating under the drifting popularity model.
-    lastRouting_.clear();
-    lastRouting_.reserve(layers);
-    for (auto &gen : generators_)
-        lastRouting_.push_back(gen.nextForTokens(share));
+    // Per-layer gating under the drifting popularity model. Each
+    // layer owns its generator, so the draw fans out over the pool.
+    lastRouting_.assign(static_cast<std::size_t>(layers),
+                        RoutingMatrix());
+    runLayers([&](int l) {
+        lastRouting_[static_cast<std::size_t>(l)] =
+            generators_[static_cast<std::size_t>(l)].nextForTokens(
+                share);
+    });
     const std::vector<RoutingMatrix> &routing = lastRouting_;
 
     res.migration = updateLayouts(routing, res);
 
-    std::vector<RoutingPlan> plans;
-    plans.reserve(layers);
-    for (int l = 0; l < layers; ++l) {
-        plans.push_back(config_.policy == ServingPolicy::StaticEp
-                            ? staticEpRouting(routing[l], grouping_,
-                                              layouts_[l])
-                            : liteRouting(topo, routing[l],
-                                          layouts_[l]));
-    }
+    // Per-layer route + price fan-out into the reusable scratch
+    // slots. The lite-routed policies go through the sparse plan (the
+    // dense S and volume matrices never exist); StaticEp routes its
+    // grouped dense plan and is folded to the same port loads. All
+    // sums are exact integers, so the priced times are bit-identical
+    // to the dense formulation.
+    runLayers([&](int l) {
+        const auto li = static_cast<std::size_t>(l);
+        if (config_.policy == ServingPolicy::StaticEp) {
+            const RoutingPlan plan = staticEpRouting(
+                routing[li], grouping_, layouts_[li]);
+            const VolumeMatrix vol =
+                plan.dispatchVolume(model.tokenBytes());
+            layerDispatch_[li] =
+                kCollectiveAlpha + a2aBottleneckTime(topo, vol);
+            layerCombine_[li] =
+                kCollectiveAlpha +
+                a2aBottleneckTime(topo, transposeVolume(vol));
+            recvTokens_[li] = plan.receivedTokens();
+        } else {
+            if (indexDirty_[li]) {
+                replicaIndex_[li].rebuild(topo, layouts_[li]);
+                indexDirty_[li] = 0;
+            }
+            liteRoutingSparse(topo, routing[li], replicaIndex_[li],
+                              sparsePlans_[li]);
+            sparsePlans_[li].portLoads(topo, model.tokenBytes(),
+                                       portLoads_[li]);
+            layerDispatch_[li] =
+                kCollectiveAlpha +
+                a2aBottleneckTimeFromLoads(topo, portLoads_[li]);
+            layerCombine_[li] =
+                kCollectiveAlpha +
+                a2aBottleneckTimeFromLoads(topo, portLoads_[li],
+                                           /*transpose=*/true);
+            sparsePlans_[li].receivedTokens(recvTokens_[li]);
+        }
+        recvDouble_[li].assign(recvTokens_[li].begin(),
+                               recvTokens_[li].end());
+        layerImbalance_[li] = imbalanceFactor(recvDouble_[li]);
+    });
 
     // Attention + gate work of the step, sharded evenly (the batch is
     // data parallel; only expert work is layout dependent). Prefill
@@ -329,18 +414,11 @@ ServingEngine::executeStep(const BatchPlan &plan, Seconds start)
     // expert FFN -> combine A2A (barrier), forward only.
     SimEngine eng(n);
     std::vector<TaskId> prev(n, -1);
-    std::vector<double> imbalance;
     for (int l = 0; l < layers; ++l) {
-        const VolumeMatrix vol =
-            plans[l].dispatchVolume(model.tokenBytes());
-        const Seconds t_disp =
-            kCollectiveAlpha + a2aBottleneckTime(topo, vol);
-        const Seconds t_comb =
-            kCollectiveAlpha +
-            a2aBottleneckTime(topo, transposeVolume(vol));
-        const std::vector<TokenCount> recv = plans[l].receivedTokens();
-        std::vector<double> recv_d(recv.begin(), recv.end());
-        imbalance.push_back(imbalanceFactor(recv_d));
+        const auto li = static_cast<std::size_t>(l);
+        const Seconds t_disp = layerDispatch_[li];
+        const Seconds t_comb = layerCombine_[li];
+        const std::vector<TokenCount> &recv = recvTokens_[li];
 
         std::vector<TaskId> attn_ids(n), disp_ids(n), expert_ids(n);
         for (DeviceId d = 0; d < n; ++d) {
@@ -392,7 +470,7 @@ ServingEngine::executeStep(const BatchPlan &plan, Seconds start)
     res.a2aBusy = busyOf("a2a") * layer_scale;
     res.expertBusy = busyOf("expert") * layer_scale;
     res.othersBusy = busyOf("attn") * layer_scale;
-    res.maxRelTokens = mean(imbalance);
+    res.maxRelTokens = mean(layerImbalance_);
     ++stepIndex_;
     return res;
 }

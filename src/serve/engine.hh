@@ -19,11 +19,21 @@
  * discrete-event engine), commit (advance request progress at the
  * step's finish time). Swap-style preemption traffic recorded by the
  * batcher is charged here at the host-link bandwidth.
+ *
+ * Step pricing for the lite-routed policies runs on the sparse hot
+ * path: per-layer `RoutingPlanSparse` built against a cached
+ * `ReplicaIndex` (rebuilt only when the layout changes) with scratch
+ * buffers reused across steps, so neither the dense N x E x N plan
+ * nor the dense volume matrices exist at any point — the priced times
+ * are bit-identical to the dense formulation. Per-layer tune/route
+ * work fans out over an optional `ThreadPool`; LAER retunes are
+ * wall-clock timed against `tunerBudgetMs`.
  */
 
 #ifndef LAER_SERVE_ENGINE_HH
 #define LAER_SERVE_ENGINE_HH
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -32,6 +42,7 @@
 #include "model/config.hh"
 #include "model/memory.hh"
 #include "planner/layout_tuner.hh"
+#include "planner/routing_plan_sparse.hh"
 #include "serve/batcher.hh"
 #include "serve/device_pool.hh"
 #include "serve/request.hh"
@@ -39,6 +50,8 @@
 
 namespace laer
 {
+
+class ThreadPool;
 
 /** Expert-placement / engine-topology policies compared by the
  * serving benches. The first three run one whole-cluster engine;
@@ -126,6 +139,22 @@ struct EngineConfig
      * via setLayouts(). */
     bool tuningEnabled = true;
     double hostLinkBw = kHostLinkBw; //!< PCIe rate for swap charging
+    /** Optional worker pool for the per-layer tune/route fan-out (and,
+     * via tuner.pool, the tuner's scheme set). Non-owning; null runs
+     * serially. Results are identical for any thread count. */
+    ThreadPool *pool = nullptr;
+    /** Wall-clock budget per LAER retune in milliseconds; 0 disables
+     * the check. Overruns are recorded per retune (retuneWall()) and
+     * surfaced in ServingReport. */
+    double tunerBudgetMs = 0.0;
+};
+
+/** Wall-clock record of one LAER retune (all layers of one engine). */
+struct RetuneWallSample
+{
+    Seconds simTime = 0.0;  //!< simulated step start that retuned
+    double wallMs = 0.0;    //!< real solver wall time
+    bool overBudget = false; //!< wallMs > EngineConfig::tunerBudgetMs
 };
 
 /**
@@ -247,12 +276,24 @@ class ServingEngine
     /** LAER re-tunes applied so far. */
     int retunes() const { return retunes_; }
 
+    /** Wall-clock samples of every retune so far, in step order. */
+    const std::vector<RetuneWallSample> &retuneWall() const
+    {
+        return retuneWall_;
+    }
+
     const EngineConfig &config() const { return config_; }
 
   private:
     /** Refresh layouts per the active policy; returns migration cost. */
     Seconds updateLayouts(const std::vector<RoutingMatrix> &routing,
                           ServingStepResult &result);
+
+    /** Per-layer fan-out over the configured pool (serial when null). */
+    void runLayers(const std::function<void(int)> &fn);
+
+    /** Mark every per-layer ReplicaIndex stale (layouts changed). */
+    void invalidateIndexes();
 
     DevicePoolSlice slice_;
     EngineConfig config_;
@@ -267,6 +308,19 @@ class ServingEngine
     std::vector<RoutingMatrix> aggRouting_;    //!< LAER window sums
     std::vector<RoutingMatrix> lastRouting_;   //!< last step's gating
     std::vector<std::unique_ptr<FlexMoePlanner>> flexPlanners_;
+
+    // Hot-path scratch, one slot per simulated layer, reused across
+    // steps so the per-step pricing is allocation-free once warm.
+    std::vector<ReplicaIndex> replicaIndex_;  //!< per-layout lists
+    std::vector<char> indexDirty_;            //!< rebuild before use
+    std::vector<RoutingPlanSparse> sparsePlans_;
+    std::vector<A2aPortLoads> portLoads_;
+    std::vector<std::vector<TokenCount>> recvTokens_;
+    std::vector<std::vector<double>> recvDouble_; //!< imbalance input
+    std::vector<Seconds> layerDispatch_;
+    std::vector<Seconds> layerCombine_;
+    std::vector<double> layerImbalance_;
+    std::vector<RetuneWallSample> retuneWall_;
 };
 
 } // namespace laer

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/error.hh"
+#include "core/thread_pool.hh"
 #include "serve/kv_cache.hh"
 
 namespace laer
@@ -107,6 +108,10 @@ ServingSimulator::ServingSimulator(const Cluster &cluster,
     : cluster_(cluster), config_(normalizeConfig(cluster, config)),
       arrivals_(config_.arrival), metrics_(config_.sloTtft)
 {
+    // One worker pool shared by every engine (engines step one at a
+    // time, so there is no contention). threads == 1 stays pool-free.
+    if (ThreadPool::resolveThreads(config_.threads) > 1)
+        threadPool_ = std::make_unique<ThreadPool>(config_.threads);
     if (config_.policy == ServingPolicy::Disaggregated) {
         const int prefill = config_.disagg.prefillDevices;
         slices_ = partitionCluster(
@@ -156,6 +161,13 @@ ServingSimulator::engineConfigFor(const DevicePoolSlice &slice,
     ec.stepOverhead = config_.stepOverhead;
     ec.retunePeriod = config_.retunePeriod;
     ec.tuner = config_.tuner;
+    // The engine only adopts decision.layout; the dense winner plan
+    // would be built and thrown away (steps price from the sparse
+    // path), so skip it regardless of the caller's tuner default.
+    ec.tuner.buildPlan = false;
+    ec.tuner.pool = threadPool_.get();
+    ec.pool = threadPool_.get();
+    ec.tunerBudgetMs = config_.tunerBudgetMs;
     ec.flexMaxMoves = config_.flexMaxMoves;
     ec.hostLinkBw = config_.hostLinkBw;
     // Engines draw from disjoint seed streams; pool 0 keeps the run's
@@ -879,6 +891,26 @@ ServingSimulator::buildReport() const
         pool.peakKvUtilization = poolStats_[i].kvUtil.max();
         report.pools.push_back(pool);
     }
+    // Planner wall-time accounting: every engine's retune samples, in
+    // engine order (sample times are simulated; wall times are real).
+    report.tunerBudgetMs = config_.tunerBudgetMs;
+    for (const auto &engine : engines_) {
+        for (const RetuneWallSample &sample : engine->retuneWall()) {
+            report.retuneWall.push_back(sample);
+            report.retuneWallMaxMs =
+                std::max(report.retuneWallMaxMs, sample.wallMs);
+            if (sample.overBudget)
+                ++report.retuneBudgetOverruns;
+        }
+    }
+    if (!report.retuneWall.empty()) {
+        double total = 0.0;
+        for (const RetuneWallSample &sample : report.retuneWall)
+            total += sample.wallMs;
+        report.retuneWallMeanMs =
+            total / static_cast<double>(report.retuneWall.size());
+    }
+
     report.migrated = migrated_;
     report.kvTransferBytes = kvTransferBytes_;
     report.kvTransferSeconds = kvTransferSeconds_;

@@ -137,6 +137,16 @@ struct ServingConfig
     Seconds sloTtft = 0.5;     //!< TTFT target for goodput accounting
     Seconds horizon = 30.0;    //!< seconds of offered traffic
     std::uint64_t seed = 42;   //!< routing-generator seed base
+    /** Worker threads for the per-layer tune/route fan-out and the
+     * tuner's scheme set (core/thread_pool.hh): 1 = serial (default),
+     * 0 = hardware concurrency. Results are identical for any value;
+     * only wall time changes. */
+    int threads = 1;
+    /** Wall-clock budget per LAER retune in milliseconds; 0 disables
+     * the check. Overruns are reported per retune in ServingReport
+     * (the planner must stay inside the budget for async re-layout
+     * to hide behind serving steps at 512-1024 devices). */
+    double tunerBudgetMs = 0.0;
 };
 
 /** Per-pool slice of a run's summary. */
@@ -214,6 +224,14 @@ struct ServingReport
     Bytes swapOutBytes = 0;        //!< KV offloaded to host
     Bytes swapInBytes = 0;         //!< KV restored from host
     Seconds swapSeconds = 0.0;     //!< host-link time on the timeline
+
+    // Planner wall-time accounting (real seconds, not simulated).
+    double tunerBudgetMs = 0.0;    //!< configured per-retune budget
+    double retuneWallMeanMs = 0.0; //!< mean solver wall time per retune
+    double retuneWallMaxMs = 0.0;  //!< slowest retune
+    int retuneBudgetOverruns = 0;  //!< retunes exceeding the budget
+    std::vector<RetuneWallSample> retuneWall; //!< per retune, in
+                                              //!< engine/step order
 
     // Control-plane accounting. Static runs carry no events or
     // windows and deviceSeconds = numDevices * elapsed.
@@ -414,6 +432,7 @@ class ServingSimulator
 
     const Cluster &cluster_;
     ServingConfig config_;
+    std::unique_ptr<ThreadPool> threadPool_; //!< shared by the engines
     ArrivalProcess arrivals_;
     ServingMetrics metrics_;
     std::vector<DevicePoolSlice> slices_; //!< slot geometry, by index

@@ -3,10 +3,15 @@
  * Tests for lite routing (paper Alg. 3 / Appendix B).
  */
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "core/error.hh"
+#include "core/rng.hh"
 #include "planner/lite_routing.hh"
+#include "planner/relocation.hh"
+#include "planner/replica_alloc.hh"
 
 namespace laer
 {
@@ -122,6 +127,160 @@ TEST(LiteRouting, DuplicateReplicasOnOneDeviceGetDoubleShare)
     const RoutingPlan s = liteRouting(c, r, a);
     EXPECT_EQ(s.at(0, 0, 0), 60);
     EXPECT_EQ(s.at(0, 0, 1), 30);
+}
+
+TEST(LiteRouting, IndexOverloadMatchesLayoutOverload)
+{
+    const Cluster c = cluster22();
+    RoutingMatrix r(4, 2);
+    r.at(0, 0) = 11;
+    r.at(1, 0) = 3;
+    r.at(2, 1) = 9;
+    ExpertLayout a(4, 2);
+    a.at(0, 0) = 1;
+    a.at(1, 1) = 1;
+    a.at(2, 0) = 2; // multiplicity
+    a.at(3, 1) = 1;
+    const ReplicaIndex index(c, a);
+    RoutingPlan via_layout(4, 2), via_index(4, 2);
+    for (DeviceId rank = 0; rank < 4; ++rank) {
+        liteRouteRank(c, r, a, rank, via_layout);
+        liteRouteRank(c, r, index, rank, via_index);
+    }
+    for (DeviceId i = 0; i < 4; ++i)
+        for (ExpertId j = 0; j < 2; ++j)
+            for (DeviceId k = 0; k < 4; ++k)
+                EXPECT_EQ(via_layout.at(i, j, k),
+                          via_index.at(i, j, k));
+}
+
+// Satellite check: liteRouting and both fused scorers agree on recv
+// sums and pair cost for random feasible layouts.
+class ScorerEquivalence : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(ScorerEquivalence, MatchesDensePlanOnRandomLayouts)
+{
+    const bool fast = GetParam();
+    const Cluster c(3, 4, 100e9, 10e9, 1e12);
+    const int n = c.numDevices(), e = 7, capacity = 2;
+    CostParams params;
+    params.commBytesPerToken = 4096;
+    params.compFlopsPerToken = 2.5e8;
+
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        Rng rng(seed);
+        RoutingMatrix r(n, e);
+        const auto pop = rng.dirichlet(e, 0.35);
+        for (DeviceId d = 0; d < n; ++d) {
+            const auto counts = rng.multinomial(1500, pop);
+            for (ExpertId j = 0; j < e; ++j)
+                r.at(d, j) = counts[j];
+        }
+        std::vector<int> replicas =
+            replicaAllocation(r.expertLoads(), n, capacity);
+        for (int moves = rng.uniformInt(0, 4); moves > 0; --moves)
+            replicas = perturbAllocation(replicas, rng, n);
+        const ExpertLayout layout =
+            expertRelocation(c, replicas, r.expertLoads(), capacity);
+
+        const RoutingPlan plan = liteRouting(c, r, layout);
+        const CostBreakdown dense = timeCost(c, params, plan);
+        const LiteRoutingScore score =
+            fast ? scoreLiteRoutingFast(c, r, layout, params)
+                 : scoreLiteRouting(c, r, layout, params);
+
+        // recv sums are exact integers in both formulations.
+        EXPECT_EQ(score.recv, plan.receivedTokens())
+            << "seed " << seed;
+        // Pair cost: mathematically identical; the fast scorer sums
+        // in a different (tighter) order, so compare to relative
+        // tolerance. The exact scorer preserves summation order but
+        // timeCost folds tokens per (i, k) pair before dividing, so
+        // it too is only equal to rounding.
+        EXPECT_NEAR(score.cost.comm, dense.comm,
+                    1e-9 * std::max(1e-30, dense.comm))
+            << "seed " << seed;
+        EXPECT_DOUBLE_EQ(score.cost.comp, dense.comp)
+            << "seed " << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ExactAndFast, ScorerEquivalence,
+                         ::testing::Values(false, true));
+
+TEST(LiteRouting, FastScorerHandlesReplicaMultiplicity)
+{
+    // Duplicate replicas on one device: the self-share exclusion must
+    // subtract every occurrence's share, including its slot in the
+    // rotated remainder window.
+    const Cluster c = cluster22();
+    RoutingMatrix r(4, 1);
+    r.at(0, 0) = 91; // odd: exercises the remainder window
+    r.at(1, 0) = 7;
+    ExpertLayout a(4, 1);
+    a.at(0, 0) = 2; // two replicas on the source device itself
+    a.at(1, 0) = 1;
+    CostParams params;
+    params.commBytesPerToken = 1024;
+    params.compFlopsPerToken = 1e8;
+    const RoutingPlan plan = liteRouting(c, r, a);
+    const CostBreakdown dense = timeCost(c, params, plan);
+    const LiteRoutingScore fast =
+        scoreLiteRoutingFast(c, r, a, params);
+    EXPECT_EQ(fast.recv, plan.receivedTokens());
+    EXPECT_NEAR(fast.cost.comm, dense.comm, 1e-12 * dense.comm);
+    EXPECT_DOUBLE_EQ(fast.cost.comp, dense.comp);
+}
+
+TEST(LiteRouting, ExactScorerIsBitIdenticalToSeedFormulation)
+{
+    // The tuner's default scorer must preserve the seed's summation
+    // order: shares visited per (source, expert, rotated slot), one
+    // divide per off-device share. Recompute that sum here and demand
+    // exact equality of the comm term.
+    const Cluster c(2, 4, 100e9, 10e9, 1e12);
+    const int n = c.numDevices(), e = 5;
+    Rng rng(99);
+    RoutingMatrix r(n, e);
+    const auto pop = rng.dirichlet(e, 0.5);
+    for (DeviceId d = 0; d < n; ++d) {
+        const auto counts = rng.multinomial(911, pop);
+        for (ExpertId j = 0; j < e; ++j)
+            r.at(d, j) = counts[j];
+    }
+    const ExpertLayout layout = expertRelocation(
+        c, replicaAllocation(r.expertLoads(), n, 2), r.expertLoads(),
+        2);
+    CostParams params;
+    params.commBytesPerToken = 8192;
+    params.compFlopsPerToken = 3.5e8;
+
+    const ReplicaIndex index(c, layout);
+    Seconds pair_sum = 0.0;
+    for (DeviceId rank = 0; rank < n; ++rank) {
+        for (ExpertId j = 0; j < e; ++j) {
+            const TokenCount tokens = r.at(rank, j);
+            if (tokens == 0)
+                continue;
+            std::size_t count = 0;
+            const DeviceId *targets =
+                index.targets(c.node(rank), j, count);
+            forEachLiteShare(targets, count, rank, tokens,
+                             [&](DeviceId k, TokenCount share) {
+                                 if (k != rank)
+                                     pair_sum +=
+                                         static_cast<double>(share) /
+                                         c.bw(rank, k);
+                             });
+        }
+    }
+    const LiteRoutingScore score =
+        scoreLiteRouting(c, r, layout, params);
+    EXPECT_EQ(score.cost.comm,
+              4.0 * static_cast<double>(params.commBytesPerToken) *
+                  pair_sum);
 }
 
 TEST(LiteRouting, PerRankRoutingMatchesFullRouting)

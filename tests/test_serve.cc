@@ -361,6 +361,63 @@ TEST(ServingSim, LaerRetunesOnSchedule)
     EXPECT_DOUBLE_EQ(report.migrationTotal, 0.0); // FSEP hides moves
 }
 
+TEST(ServingSim, ThreadCountDoesNotChangeTheSimulation)
+{
+    // --threads only changes wall time: the per-layer fan-out and the
+    // tuner's scheme evaluation write per-index slots and reduce in a
+    // fixed order, so a multi-threaded run is step-identical to the
+    // serial one.
+    const Cluster cluster(2, 4, 300e9, 12.5e9, 212e12);
+    ServingConfig serial = smallServingConfig(
+        ServingPolicy::LaerServe);
+    ServingConfig parallel = serial;
+    parallel.threads = 4;
+    ServingSimulator a(cluster, serial);
+    ServingSimulator b(cluster, parallel);
+    const ServingReport ra = a.run();
+    const ServingReport rb = b.run();
+    EXPECT_EQ(ra.steps, rb.steps);
+    EXPECT_EQ(ra.retunes, rb.retunes);
+    EXPECT_EQ(ra.completed, rb.completed);
+    EXPECT_DOUBLE_EQ(ra.elapsed, rb.elapsed);
+    EXPECT_DOUBLE_EQ(ra.ttftP99, rb.ttftP99);
+    EXPECT_DOUBLE_EQ(ra.goodputTps, rb.goodputTps);
+    ASSERT_EQ(a.stepResults().size(), b.stepResults().size());
+    for (std::size_t i = 0; i < a.stepResults().size(); ++i)
+        EXPECT_DOUBLE_EQ(a.stepResults()[i].duration,
+                         b.stepResults()[i].duration);
+}
+
+TEST(ServingSim, RetuneWallTimesAndBudgetOverrunsAreReported)
+{
+    const Cluster cluster(2, 4, 300e9, 12.5e9, 212e12);
+    // An absurdly tight budget (well under any real solve) must flag
+    // every retune; no budget flags none.
+    ServingConfig tight = smallServingConfig(
+        ServingPolicy::LaerServe);
+    tight.tunerBudgetMs = 1e-9;
+    ServingSimulator sim(cluster, tight);
+    const ServingReport report = sim.run();
+    ASSERT_GT(report.retunes, 0);
+    EXPECT_EQ(static_cast<int>(report.retuneWall.size()),
+              report.retunes);
+    EXPECT_EQ(report.retuneBudgetOverruns, report.retunes);
+    EXPECT_GT(report.retuneWallMeanMs, 0.0);
+    EXPECT_GE(report.retuneWallMaxMs, report.retuneWallMeanMs);
+    for (const RetuneWallSample &sample : report.retuneWall) {
+        EXPECT_TRUE(sample.overBudget);
+        EXPECT_GT(sample.wallMs, 0.0);
+    }
+
+    ServingConfig open = smallServingConfig(
+        ServingPolicy::LaerServe);
+    ServingSimulator unbudgeted(cluster, open);
+    const ServingReport free_report = unbudgeted.run();
+    EXPECT_EQ(free_report.retuneBudgetOverruns, 0);
+    EXPECT_EQ(static_cast<int>(free_report.retuneWall.size()),
+              free_report.retunes);
+}
+
 TEST(ServingSim, RejectsOversubscribedCluster)
 {
     const Cluster tiny(1, 2, 300e9, 12.5e9, 212e12);
