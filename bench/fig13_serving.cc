@@ -35,11 +35,16 @@
  *
  * Flags: `--policy=NAME[,NAME...]` restricts every sweep to the named
  * policies (StaticEP, FlexMoE, LAER, Disagg, DisaggShared); `--csv`
- * emits the tables as CSV for machine consumption.
+ * emits the tables as CSV for machine consumption; `--trace-out=FILE`
+ * records every run into one Perfetto trace (tracks labelled
+ * sweep/policy@point); `--metrics-out=FILE` appends per-run JSONL
+ * counter snapshots.
  */
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -47,6 +52,7 @@
 #include "core/cli.hh"
 #include "core/error.hh"
 #include "core/table.hh"
+#include "obs/obs.hh"
 #include "serve/kv_cache.hh"
 #include "serve/serving_sim.hh"
 
@@ -77,6 +83,33 @@ bool csv_output = false;
 std::vector<std::string> policy_filter;
 bool seed_overridden = false;
 std::uint64_t seed_override = 0;
+laer::TraceRecorder *trace_recorder = nullptr; //!< shared across runs
+std::string metrics_path;                      //!< "" = metrics off
+
+/** Attach the shared trace recorder and the run's registry to one
+ * sweep point; `label` prefixes its trace tracks and tags its JSONL
+ * snapshots (e.g. "13b/LAER@10GiB"). No-op without the obs flags. */
+void
+attachObs(laer::ServingConfig &cfg, laer::MetricsRegistry &registry,
+          const std::string &label)
+{
+    if (trace_recorder != nullptr) {
+        cfg.trace = trace_recorder;
+        cfg.obsLabel = label;
+    }
+    if (!metrics_path.empty()) {
+        cfg.metricsRegistry = &registry;
+        cfg.snapshotInterval = 1.0;
+    }
+}
+
+/** Append the run's snapshots to --metrics-out (if given). */
+void
+flushObs(const laer::MetricsRegistry &registry, const std::string &label)
+{
+    if (!metrics_path.empty())
+        registry.appendJsonlFile(metrics_path, label);
+}
 
 /** True when the variant survives the --policy filter. */
 bool
@@ -155,8 +188,13 @@ kvBudgetSweep(const laer::Cluster &cluster)
             laer::ServingConfig cfg = servingConfig(policy, 60.0);
             cfg.hbmPerDevice =
                 static_cast<laer::Bytes>(gib * (1LL << 30));
+            std::ostringstream label;
+            label << "13b/" << policy.label << "@" << gib << "GiB";
+            laer::MetricsRegistry registry;
+            attachObs(cfg, registry, label.str());
             laer::ServingSimulator sim(cluster, cfg);
             const laer::ServingReport r = sim.run();
+            flushObs(registry, label.str());
             table.startRow();
             table.cell(gib, 1);
             table.cell(static_cast<double>(r.kvBudgetBytes) /
@@ -203,8 +241,13 @@ disaggSweep(const laer::Cluster &cluster)
             laer::ServingConfig cfg = servingConfig(policy, rate);
             cfg.hbmPerDevice =
                 static_cast<laer::Bytes>(hbm_gib * (1LL << 30));
+            std::ostringstream label;
+            label << "13c/" << policy.label << "@" << rate;
+            laer::MetricsRegistry registry;
+            attachObs(cfg, registry, label.str());
             laer::ServingSimulator sim(cluster, cfg);
             const laer::ServingReport r = sim.run();
+            flushObs(registry, label.str());
             table.startRow();
             table.cell(rate, 0);
             table.cell(policy.label);
@@ -250,16 +293,21 @@ int
 main(int argc, char **argv)
 try {
     const laer::CliArgs args(argc, argv,
-                             {"policy", "csv", "seed", "help"});
+                             {"policy", "csv", "seed", "trace-out",
+                              "metrics-out", "help"});
     if (args.has("help")) {
         std::cout
             << "usage: fig13_serving [--policy=NAME[,NAME...]] [--csv] "
-               "[--seed=N]\n"
-               "  --policy  run only the named policies; names: "
+               "[--seed=N] [--trace-out=FILE] [--metrics-out=FILE]\n"
+               "  --policy      run only the named policies; names: "
                "StaticEP, FlexMoE, LAER, Disagg, DisaggShared\n"
-               "  --csv     emit tables as CSV\n"
-               "  --seed    routing/arrival seed base (default: the "
-               "paper sweep's 7/2024)\n";
+               "  --csv         emit tables as CSV\n"
+               "  --seed        routing/arrival seed base (default: "
+               "the paper sweep's 7/2024)\n"
+               "  --trace-out   write a Chrome/Perfetto trace of every "
+               "sweep point\n"
+               "  --metrics-out append per-run JSONL counter "
+               "snapshots (1 s cadence)\n";
         return 0;
     }
     csv_output = args.has("csv");
@@ -268,6 +316,16 @@ try {
         seed_overridden = true;
         seed_override = args.getUint("seed", 0);
     }
+    const std::string trace_out = args.get("trace-out");
+    const std::string metrics_out = args.get("metrics-out");
+    std::unique_ptr<laer::TraceRecorder> recorder;
+    if (!trace_out.empty()) {
+        recorder = std::make_unique<laer::TraceRecorder>();
+        trace_recorder = recorder.get();
+    }
+    metrics_path = metrics_out;
+    if (!metrics_path.empty())
+        std::ofstream(metrics_path, std::ios::trunc);
     for (const std::string &name : policy_filter) {
         const bool known =
             name == kStaticEp.label || name == kFlexMoe.label ||
@@ -298,9 +356,14 @@ try {
         for (const PolicyVariant &policy : policies) {
             if (!selected(policy))
                 continue;
-            laer::ServingSimulator sim(cluster,
-                                       servingConfig(policy, rate));
+            laer::ServingConfig cfg = servingConfig(policy, rate);
+            std::ostringstream label;
+            label << "13a/" << policy.label << "@" << rate;
+            laer::MetricsRegistry registry;
+            attachObs(cfg, registry, label.str());
+            laer::ServingSimulator sim(cluster, cfg);
             const laer::ServingReport r = sim.run();
+            flushObs(registry, label.str());
             table.startRow();
             table.cell(rate, 0);
             table.cell(policy.label);
@@ -327,6 +390,8 @@ try {
 
     kvBudgetSweep(cluster);
     disaggSweep(cluster);
+    if (recorder)
+        recorder->writeFile(trace_out);
 
     // The LAER-vs-StaticEP gate only applies when both policies ran.
     if (!selected(kLaer) || !selected(kStaticEp))

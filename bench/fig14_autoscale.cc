@@ -29,11 +29,15 @@
  *
  * Flags: `--policy=NAME[,NAME...]` (Static8/8, AutoSplit,
  * AutoReplica), `--csv`, `--seed=N`, `--quick` (tiny sweep for CI
- * smoke), `--help`.
+ * smoke), `--trace-out=FILE` (Perfetto trace of every run),
+ * `--metrics-out=FILE` (JSONL counter snapshots, 1 s cadence),
+ * `--help`.
  */
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -42,6 +46,7 @@
 #include "core/error.hh"
 #include "core/table.hh"
 #include "ctrl/control_loop.hh"
+#include "obs/obs.hh"
 #include "serve/serving_sim.hh"
 #include "topo/cluster.hh"
 
@@ -232,24 +237,37 @@ printWindows(Variant variant, double rate,
 int
 main(int argc, char **argv)
 try {
-    const laer::CliArgs args(
-        argc, argv, {"policy", "csv", "seed", "quick", "help"});
+    const laer::CliArgs args(argc, argv,
+                             {"policy", "csv", "seed", "quick",
+                              "trace-out", "metrics-out", "help"});
     if (args.has("help")) {
         std::cout
             << "usage: fig14_autoscale [--policy=NAME[,NAME...]] "
-               "[--csv] [--seed=N] [--quick]\n"
-               "  --policy  run only the named configurations; names: "
-               "Static8/8, AutoSplit, AutoReplica\n"
-               "  --csv     emit tables as CSV\n"
-               "  --seed    routing/arrival seed base (default 7)\n"
-               "  --quick   one rate, one diurnal period (CI smoke; "
-               "skips the acceptance gate)\n";
+               "[--csv] [--seed=N] [--quick] [--trace-out=FILE] "
+               "[--metrics-out=FILE]\n"
+               "  --policy      run only the named configurations; "
+               "names: Static8/8, AutoSplit, AutoReplica\n"
+               "  --csv         emit tables as CSV\n"
+               "  --seed        routing/arrival seed base (default 7)\n"
+               "  --quick       one rate, one diurnal period (CI "
+               "smoke; skips the acceptance gate)\n"
+               "  --trace-out   write a Chrome/Perfetto trace of every "
+               "run (tracks labelled config@rate)\n"
+               "  --metrics-out append one JSONL counter snapshot per "
+               "simulated second per run\n";
         return 0;
     }
     csv_output = args.has("csv");
     quick = args.has("quick");
     policy_filter = args.getList("policy");
     seed = args.getUint("seed", seed);
+    const std::string trace_out = args.get("trace-out");
+    const std::string metrics_out = args.get("metrics-out");
+    std::unique_ptr<laer::TraceRecorder> recorder;
+    if (!trace_out.empty())
+        recorder = std::make_unique<laer::TraceRecorder>();
+    if (!metrics_out.empty())
+        std::ofstream(metrics_out, std::ios::trunc);
     for (const std::string &name : policy_filter) {
         const bool known = name == variantName(Variant::StaticSplit) ||
                            name == variantName(Variant::AutoSplit) ||
@@ -288,10 +306,23 @@ try {
         for (const Variant variant : variants) {
             if (!selected(variant))
                 continue;
-            laer::ServingSimulator sim(cluster,
-                                       servingConfig(variant, rate));
+            laer::ServingConfig cfg = servingConfig(variant, rate);
+            std::ostringstream label;
+            label << variantName(variant) << "@" << rate;
+            laer::MetricsRegistry registry;
+            if (recorder) {
+                cfg.trace = recorder.get();
+                cfg.obsLabel = label.str();
+            }
+            if (!metrics_out.empty()) {
+                cfg.metricsRegistry = &registry;
+                cfg.snapshotInterval = 1.0;
+            }
+            laer::ServingSimulator sim(cluster, cfg);
             laer::ControlLoop loop(sim, loopConfig(variant));
             const laer::ServingReport r = loop.run();
+            if (!metrics_out.empty())
+                registry.appendJsonlFile(metrics_out, label.str());
 
             table.startRow();
             table.cell(rate, 0);
@@ -331,6 +362,9 @@ try {
         printTimeline(variant, top_rate, report);
         printWindows(variant, top_rate, report);
     }
+
+    if (recorder)
+        recorder->writeFile(trace_out);
 
     if (quick || !policy_filter.empty())
         return 0;

@@ -28,19 +28,27 @@
  * sparse+parallel arms must be >= 10x faster than the dense serial
  * arms or the bench exits non-zero.
  *
+ * The serving runs self-profile: a per-scale wall-time breakdown
+ * (step pricing vs retune solver vs event loop) prints at exit and
+ * lands in the JSON, answering "where does the wall time go at 1024
+ * devices". `--trace-out` / `--metrics-out` record the serving runs.
+ *
  *   ./tab05_serving_scale [--quick] [--devices=128,256,...]
  *       [--threads=N] [--tuner-budget-ms=MS] [--out=PATH] [--csv]
+ *       [--trace-out=FILE] [--metrics-out=FILE]
  */
 
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "comm/collectives.hh"
 #include "core/cli.hh"
+#include "obs/obs.hh"
 #include "core/error.hh"
 #include "core/rng.hh"
 #include "core/table.hh"
@@ -97,6 +105,9 @@ struct ScaleResult
     double serveRetuneMeanMs = 0.0;
     double serveRetuneMaxMs = 0.0;
     int serveOverruns = 0;
+    double profStepPricingMs = 0.0; //!< executeStep wall minus retunes
+    double profRetuneMs = 0.0;      //!< retune solver wall
+    double profEventLoopMs = 0.0;   //!< simulator bookkeeping wall
 
     double stepSpeedup() const { return stepDenseMs / stepSparseMs; }
     double retuneSpeedup() const
@@ -221,23 +232,33 @@ try {
 
     const CliArgs args(argc, argv,
                        {"quick", "devices", "threads",
-                        "tuner-budget-ms", "out", "csv", "help"});
+                        "tuner-budget-ms", "out", "csv", "trace-out",
+                        "metrics-out", "help"});
     if (args.has("help")) {
         std::cout
             << "usage: tab05_serving_scale [--quick] "
                "[--devices=128,256,...] [--threads=N] "
-               "[--tuner-budget-ms=MS] [--out=PATH] [--csv]\n"
+               "[--tuner-budget-ms=MS] [--out=PATH] [--csv] "
+               "[--trace-out=FILE] [--metrics-out=FILE]\n"
                "  --threads defaults to the hardware concurrency;\n"
-               "  results are identical for any thread count.\n";
+               "  results are identical for any thread count.\n"
+               "  --trace-out / --metrics-out record the serving runs "
+               "(Perfetto trace / JSONL snapshots).\n";
         return 0;
     }
     const bool quick = args.has("quick");
     const bool csv = args.has("csv");
     const int threads = static_cast<int>(
         args.getUint("threads", 0)); // 0 = hardware concurrency
-    const double budget_ms =
-        static_cast<double>(args.getUint("tuner-budget-ms", 30));
+    const double budget_ms = args.getDouble("tuner-budget-ms", 30.0);
     const std::string out_path = args.get("out", "BENCH_tab04.json");
+    const std::string trace_out = args.get("trace-out");
+    const std::string metrics_out = args.get("metrics-out");
+    std::unique_ptr<TraceRecorder> recorder;
+    if (!trace_out.empty())
+        recorder = std::make_unique<TraceRecorder>();
+    if (!metrics_out.empty())
+        std::ofstream(metrics_out, std::ios::trunc);
 
     std::vector<int> scales;
     if (args.has("devices")) {
@@ -373,13 +394,30 @@ try {
             cfg.threads = threads;
             cfg.tunerBudgetMs = budget_ms;
             cfg.seed = 5;
+            cfg.selfProfile = true;
+            std::ostringstream label;
+            label << "tab05@" << gpus;
+            MetricsRegistry registry;
+            if (recorder) {
+                cfg.trace = recorder.get();
+                cfg.obsLabel = label.str();
+            }
+            if (!metrics_out.empty()) {
+                cfg.metricsRegistry = &registry;
+                cfg.snapshotInterval = 0.5;
+            }
             ServingSimulator sim(cluster, cfg);
             const ServingReport report = sim.run();
+            if (!metrics_out.empty())
+                registry.appendJsonlFile(metrics_out, label.str());
             res.serveSteps = report.steps;
             res.serveRetunes = report.retunes;
             res.serveRetuneMeanMs = report.retuneWallMeanMs;
             res.serveRetuneMaxMs = report.retuneWallMaxMs;
             res.serveOverruns = report.retuneBudgetOverruns;
+            res.profStepPricingMs = report.profStepPricingMs;
+            res.profRetuneMs = report.profRetuneMs;
+            res.profEventLoopMs = report.profEventLoopMs;
         }
 
         results.push_back(res);
@@ -435,8 +473,12 @@ try {
                  << ", \"serve_retune_wall_max_ms\": "
                  << r.serveRetuneMaxMs
                  << ", \"budget_overruns\": " << r.serveOverruns
-                 << "}" << (i + 1 < results.size() ? "," : "")
-                 << "\n";
+                 << ", \"profile_step_pricing_ms\": "
+                 << r.profStepPricingMs
+                 << ", \"profile_retune_ms\": " << r.profRetuneMs
+                 << ", \"profile_event_loop_ms\": "
+                 << r.profEventLoopMs << "}"
+                 << (i + 1 < results.size() ? "," : "") << "\n";
         }
         json << "  ]\n}\n";
         std::ofstream out(out_path);
@@ -444,6 +486,22 @@ try {
         out << json.str();
         std::cout << "\nwrote " << out_path << "\n";
     }
+
+    if (recorder)
+        recorder->writeFile(trace_out);
+
+    // Where the serving run's wall time went, per scale: step pricing
+    // (engine executeStep minus the solver), the retune solver, and
+    // the event loop / bookkeeping around them.
+    for (const ScaleResult &r : results)
+        std::cout << "serve wall breakdown @" << r.devices
+                  << ": step pricing "
+                  << static_cast<long long>(r.profStepPricingMs)
+                  << " ms, retune "
+                  << static_cast<long long>(r.profRetuneMs)
+                  << " ms, event loop "
+                  << static_cast<long long>(r.profEventLoopMs)
+                  << " ms\n";
 
     // ---- acceptance guards ---------------------------------------------
     int rc = 0;

@@ -10,12 +10,16 @@
  * between them.
  *
  *   ./examples/serving_demo [--policy=NAME[,NAME...]] [--csv]
+ *                           [--trace-out=FILE] [--metrics-out=FILE]
  *
- * Policy names: StaticEP, FlexMoE, LAER, Disagg.
+ * Policy names: StaticEP, FlexMoE, LAER, Disagg. The obs flags record
+ * every policy's run into one Perfetto trace / JSONL snapshot file.
  */
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -23,6 +27,7 @@
 #include "core/cli.hh"
 #include "core/error.hh"
 #include "core/table.hh"
+#include "obs/obs.hh"
 #include "serve/serving_sim.hh"
 
 namespace
@@ -83,14 +88,18 @@ try {
 
     const CliArgs args(argc, argv,
                        {"policy", "csv", "seed", "threads",
-                        "tuner-budget-ms", "help"});
+                        "tuner-budget-ms", "trace-out", "metrics-out",
+                        "help"});
     if (args.has("help")) {
         std::cout << "usage: serving_demo [--policy=NAME[,NAME...]] "
                      "[--csv] [--seed=N] [--threads=N] "
-                     "[--tuner-budget-ms=MS]\n  names: StaticEP, "
+                     "[--tuner-budget-ms=MS] [--trace-out=FILE] "
+                     "[--metrics-out=FILE]\n  names: StaticEP, "
                      "FlexMoE, LAER, Disagg\n  --threads=0 uses the "
                      "hardware concurrency (results are identical "
-                     "for any value)\n";
+                     "for any value)\n  --trace-out writes a "
+                     "Chrome/Perfetto trace; --metrics-out appends "
+                     "JSONL counter snapshots\n";
         return 0;
     }
     const bool csv = args.has("csv");
@@ -102,6 +111,13 @@ try {
     tuner_budget_ms =
         static_cast<double>(args.getUint("tuner-budget-ms", 0));
     const std::vector<std::string> filter = args.getList("policy");
+    const std::string trace_out = args.get("trace-out");
+    const std::string metrics_out = args.get("metrics-out");
+    std::unique_ptr<TraceRecorder> recorder;
+    if (!trace_out.empty())
+        recorder = std::make_unique<TraceRecorder>();
+    if (!metrics_out.empty())
+        std::ofstream(metrics_out, std::ios::trunc);
 
     const std::pair<const char *, ServingPolicy> policies[] = {
         {"StaticEP", ServingPolicy::StaticEp},
@@ -138,8 +154,20 @@ try {
     for (const auto &[label, policy] : policies) {
         if (!selected(label))
             continue;
-        ServingSimulator sim(cluster, demoConfig(policy));
+        ServingConfig cfg = demoConfig(policy);
+        MetricsRegistry registry;
+        if (recorder) {
+            cfg.trace = recorder.get();
+            cfg.obsLabel = label;
+        }
+        if (!metrics_out.empty()) {
+            cfg.metricsRegistry = &registry;
+            cfg.snapshotInterval = 1.0;
+        }
+        ServingSimulator sim(cluster, cfg);
         const ServingReport r = sim.run();
+        if (!metrics_out.empty())
+            registry.appendJsonlFile(metrics_out, label);
         summary.startRow();
         summary.cell(label);
         summary.cell(r.completed);
@@ -201,6 +229,8 @@ try {
         else
             steps.print(std::cout);
     }
+    if (recorder)
+        recorder->writeFile(trace_out);
     return 0;
 } catch (const laer::FatalError &err) {
     std::cerr << "serving_demo: " << err.what() << "\n";

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Validate a Chrome/Perfetto trace emitted by --trace-out.
+
+Checks, in order:
+  1. the file is valid JSON with a non-empty ``traceEvents`` array;
+  2. every event carries the required keys (``name``, ``ph``, ``pid``,
+     ``tid``; plus ``ts`` for non-metadata events), complete events
+     (``ph == "X"``) additionally a non-negative ``dur``;
+  3. per (pid, tid) track, timestamps are non-decreasing in file order
+     (TraceRecorder::write sorts each track, so out-of-order events
+     mean the writer regressed);
+  4. at least one complete event and at least one instant event exist
+     (a trace with only metadata means the recorder was never fed).
+
+Exit status 0 on success, 1 on any failure. Used by the CI bench-smoke
+job against ``fig14_autoscale --quick --trace-out``; run it locally as
+
+    python3 scripts/check_trace.py trace.json
+"""
+
+import json
+import sys
+
+REQUIRED_KEYS = ("name", "ph", "pid", "tid")  # metadata has no ts
+# Categories the serving stack emits; missing ones are only warned
+# about, since a filtered run (e.g. --policy=Static8/8) may not emit
+# planner spans.
+EXPECTED_CATEGORIES = ("serve", "planner", "ctrl")
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: check_trace.py <trace.json>")
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as err:
+        fail(f"cannot read {path}: {err}")
+    except json.JSONDecodeError as err:
+        fail(f"{path} is not valid JSON: {err}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+
+    spans = instants = 0
+    seen_categories = set()
+    last_ts = {}  # (pid, tid) -> last timestamp seen
+    for i, ev in enumerate(events):
+        for key in REQUIRED_KEYS:
+            if key not in ev:
+                fail(f"event #{i} lacks required key '{key}': {ev}")
+        ph = ev["ph"]
+        if ph == "M":  # metadata carries no timeline position
+            continue
+        if "ts" not in ev:
+            fail(f"event #{i} lacks required key 'ts': {ev}")
+        track = (ev["pid"], ev["tid"])
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)):
+            fail(f"event #{i} has non-numeric ts: {ev}")
+        if ts < last_ts.get(track, float("-inf")):
+            fail(
+                f"event #{i} breaks per-track ts order on track "
+                f"{track}: {ts} after {last_ts[track]}"
+            )
+        last_ts[track] = ts
+        if "cat" in ev:
+            seen_categories.add(ev["cat"])
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"complete event #{i} has bad dur: {ev}")
+            spans += 1
+        elif ph == "i":
+            instants += 1
+
+    if spans == 0:
+        fail("no complete ('X') span events in the trace")
+    if instants == 0:
+        fail("no instant ('i') events in the trace")
+    for cat in EXPECTED_CATEGORIES:
+        if cat not in seen_categories:
+            print(
+                f"check_trace: warning: no '{cat}' events "
+                "(fine for a filtered run)",
+                file=sys.stderr,
+            )
+
+    print(
+        f"check_trace: OK: {len(events)} events, {spans} spans, "
+        f"{instants} instants, {len(last_ts)} tracks"
+    )
+
+
+if __name__ == "__main__":
+    main()

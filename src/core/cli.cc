@@ -73,6 +73,30 @@ CliArgs::getUint(const std::string &name, std::uint64_t fallback) const
     return fallback; // unreachable
 }
 
+double
+CliArgs::getDouble(const std::string &name, double fallback) const
+{
+    if (!has(name))
+        return fallback;
+    const std::string value = get(name);
+    LAER_CHECK(!value.empty(), "--" << name << " needs a value");
+    try {
+        std::size_t consumed = 0;
+        const double parsed = std::stod(value, &consumed);
+        LAER_CHECK(consumed == value.size(),
+                   "--" << name << " value '" << value
+                        << "' is not a number");
+        return parsed;
+    } catch (const std::invalid_argument &) {
+        LAER_CHECK(false, "--" << name << " value '" << value
+                               << "' is not a number");
+    } catch (const std::out_of_range &) {
+        LAER_CHECK(false, "--" << name << " value '" << value
+                               << "' is out of range");
+    }
+    return fallback; // unreachable
+}
+
 std::vector<std::string>
 CliArgs::getList(const std::string &name) const
 {

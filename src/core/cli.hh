@@ -61,6 +61,12 @@ class CliArgs
     std::uint64_t getUint(const std::string &name,
                           std::uint64_t fallback) const;
 
+    /**
+     * Floating-point value of `--name` (e.g. `--tuner-budget-ms=7.5`),
+     * or `fallback` when absent. Malformed values throw FatalError.
+     */
+    double getDouble(const std::string &name, double fallback) const;
+
   private:
     std::vector<std::pair<std::string, std::string>> flags_;
 };

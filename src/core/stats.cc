@@ -46,16 +46,31 @@ minOf(const std::vector<double> &xs)
 }
 
 double
-percentile(std::vector<double> xs, double p)
+percentile(const std::vector<double> &xs, double p)
 {
     if (xs.empty())
         return 0.0;
-    std::sort(xs.begin(), xs.end());
-    const double rank = (p / 100.0) * (xs.size() - 1);
+    // Only the two order statistics bracketing the rank are needed;
+    // partial selection into a reusable scratch buffer beats copying
+    // and sorting the whole input in the hot metric paths.
+    static thread_local std::vector<double> scratch;
+    scratch.assign(xs.begin(), xs.end());
+    const double rank = (p / 100.0) * (scratch.size() - 1);
     const std::size_t lo = static_cast<std::size_t>(rank);
-    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const std::size_t hi = std::min(lo + 1, scratch.size() - 1);
     const double frac = rank - static_cast<double>(lo);
-    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+    std::nth_element(scratch.begin(),
+                     scratch.begin() + static_cast<std::ptrdiff_t>(lo),
+                     scratch.end());
+    const double lo_value = scratch[lo];
+    double hi_value = lo_value;
+    if (hi > lo)
+        // nth_element left everything >= lo_value above index lo; the
+        // next order statistic is that partition's minimum.
+        hi_value = *std::min_element(
+            scratch.begin() + static_cast<std::ptrdiff_t>(lo) + 1,
+            scratch.end());
+    return lo_value * (1.0 - frac) + hi_value * frac;
 }
 
 double
@@ -88,6 +103,15 @@ Accumulator::add(double x)
     }
     sum_ += x;
     ++count_;
+    const double delta = x - welfordMean_;
+    welfordMean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - welfordMean_);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
 }
 
 } // namespace laer

@@ -26,8 +26,11 @@ double minOf(const std::vector<double> &xs);
 
 /**
  * Linear-interpolated percentile, p in [0, 100]; 0 for empty input.
+ * Selects the two bracketing order statistics with nth_element into a
+ * reusable thread-local scratch buffer instead of copying and fully
+ * sorting the input.
  */
-double percentile(std::vector<double> xs, double p);
+double percentile(const std::vector<double> &xs, double p);
 
 /**
  * Load-imbalance factor: max / mean. Equals 1 for perfectly balanced
@@ -41,7 +44,9 @@ double imbalanceFactor(const std::vector<double> &loads);
  */
 double coefficientOfVariation(const std::vector<double> &xs);
 
-/** Running mean/min/max accumulator for streaming bench output. */
+/** Running mean/min/max/variance accumulator for streaming bench
+ * output. Variance uses Welford's online update, so no sample vector
+ * is kept. */
 class Accumulator
 {
   public:
@@ -63,11 +68,19 @@ class Accumulator
     /** Sum of all samples. */
     double sum() const { return sum_; }
 
+    /** Population variance; 0 for fewer than two samples. */
+    double variance() const { return count_ > 1 ? m2_ / count_ : 0.0; }
+
+    /** Population standard deviation; 0 for fewer than two samples. */
+    double stddev() const;
+
   private:
     std::int64_t count_ = 0;
     double sum_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
+    double welfordMean_ = 0.0; //!< Welford running mean (variance only)
+    double m2_ = 0.0;          //!< sum of squared deviations
 };
 
 } // namespace laer

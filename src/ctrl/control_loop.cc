@@ -94,6 +94,9 @@ ControlLoop::closeWindow(Seconds boundary)
     sample.tpotP95 = window.tpotP95;
     sim_.recordControlWindow(sample);
 
+    if (sim_.config().metricsRegistry != nullptr)
+        exportWindowMetrics(window, *sim_.config().metricsRegistry);
+
     if (!policy_ || sim_.reconfigPending())
         return;
     const ScalingAction action = policy_->decide(bus_, controlState());

@@ -102,6 +102,10 @@ TelemetryCollector::collect(const ServingSimulator &sim, Seconds start,
     w.transferStall = sim.transferStallSoFar() - lastStall_;
     lastStall_ = sim.transferStallSoFar();
 
+    // In Streaming metrics mode the sample vectors are empty (the
+    // estimators replaced them); the window p95s read 0 and the
+    // cursors stay parked at 0 — collection itself is unaffected.
+
     w.activeReplicas = sim.activeReplicas();
     w.prefillDevices = sim.prefillDevices();
     for (int i = 0; i < sim.replicaSlots(); ++i) {
@@ -116,6 +120,28 @@ TelemetryCollector::collect(const ServingSimulator &sim, Seconds start,
         w.pools.push_back(pool);
     }
     return w;
+}
+
+void
+exportWindowMetrics(const TelemetryWindow &window,
+                    MetricsRegistry &registry)
+{
+    registry.counter("ctrl.windows").add(1);
+    registry.gauge("ctrl.arrival_rate").set(window.arrivalRate);
+    registry.gauge("ctrl.window_completions")
+        .set(static_cast<double>(window.completions));
+    registry.gauge("ctrl.queue_depth")
+        .set(static_cast<double>(window.totalQueueDepth()));
+    registry.gauge("ctrl.running")
+        .set(static_cast<double>(window.totalRunning()));
+    registry.gauge("ctrl.kv_utilization").set(window.maxKvUtilization());
+    registry.gauge("ctrl.ttft_p95_s").set(window.ttftP95);
+    registry.gauge("ctrl.tpot_p95_s").set(window.tpotP95);
+    registry.gauge("ctrl.transfer_stall_s").set(window.transferStall);
+    registry.gauge("ctrl.active_replicas")
+        .set(static_cast<double>(window.activeReplicas));
+    registry.gauge("ctrl.prefill_devices")
+        .set(static_cast<double>(window.prefillDevices));
 }
 
 } // namespace laer

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/types.hh"
+#include "obs/metrics.hh"
 #include "serve/serving_sim.hh"
 
 namespace laer
@@ -118,6 +119,17 @@ class TelemetryCollector
     std::size_t lastTpotIndex_ = 0;
     Seconds lastStall_ = 0.0;
 };
+
+/**
+ * Mirror one closed window into a MetricsRegistry: `ctrl.*` gauges
+ * (arrival rate, queue depth, running, KV utilization, window p95s,
+ * replica/split state) plus the `ctrl.windows` counter. The registry's
+ * next CounterSnapshot then carries the control plane's view alongside
+ * the serving counters. Purely additive — the bus and collector are
+ * untouched.
+ */
+void exportWindowMetrics(const TelemetryWindow &window,
+                         MetricsRegistry &registry);
 
 } // namespace laer
 

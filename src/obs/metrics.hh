@@ -1,0 +1,238 @@
+/**
+ * @file
+ * MetricsRegistry — the flight recorder's numbers half.
+ *
+ * A registry of named counters (monotone int64), gauges (last-write
+ * double) and histograms whose percentiles come from P² streaming
+ * quantile estimators (Jain & Chlamtac, CACM 1985): five markers per
+ * tracked quantile, O(1) memory and O(tracked) work per sample, no
+ * sample vector. That bounded-memory property is what lets
+ * ServingMetrics run million-request sweeps without storing every
+ * TTFT (MetricsMemoryMode::Streaming, serve/request.hh).
+ *
+ * Accuracy: P² is exact for the first five samples and converges as
+ * the marker parabola tracks the empirical CDF. On the distributions
+ * the serving simulator produces (unimodal, lognormal-ish, and bimodal
+ * latency mixtures) the estimate lands within ~5% relative error of
+ * the exact percentile for n >= 1000 samples at p50-p99
+ * (tests/test_obs.cc pins these bounds); pathological adversarial
+ * streams can do worse, which is why bit-identity paths keep the
+ * exact mode.
+ *
+ * CounterSnapshot: recordSnapshot(t) flattens the registry (counters
+ * and gauges by name; histograms as name.count/.mean/.p50/.p95/.p99/
+ * .max) at fixed simulated-time intervals — the checkpoint substrate
+ * for diffing two runs — and writeJsonl() emits one JSON object per
+ * snapshot, suitable for jq / pandas.
+ */
+
+#ifndef LAER_OBS_METRICS_HH
+#define LAER_OBS_METRICS_HH
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/stats.hh"
+#include "core/types.hh"
+
+namespace laer
+{
+
+/**
+ * One P² (piecewise-parabolic) streaming estimator for a single
+ * quantile q in (0, 1). Keeps five markers; exact until the fifth
+ * sample.
+ */
+class P2Quantile
+{
+  public:
+    /** @param q  Quantile in (0, 1), e.g. 0.95. */
+    explicit P2Quantile(double q);
+
+    /** Fold one sample into the estimate. */
+    void add(double x);
+
+    /** Current estimate; 0 before the first sample. With fewer than
+     * five samples this is the exact order statistic under
+     * laer::percentile()'s interpolation convention. */
+    double value() const;
+
+    /** Samples folded so far. */
+    std::int64_t count() const { return count_; }
+
+    /** Tracked quantile in (0, 1). */
+    double quantile() const { return q_; }
+
+  private:
+    double q_;
+    std::int64_t count_ = 0;
+    double heights_[5] = {0, 0, 0, 0, 0};  //!< marker heights
+    double positions_[5] = {1, 2, 3, 4, 5}; //!< actual positions
+    double desired_[5] = {0, 0, 0, 0, 0};   //!< desired positions
+    double increments_[5] = {0, 0, 0, 0, 0};
+};
+
+/**
+ * A bank of P2Quantile estimators plus min/max, answering quantile(p)
+ * for any p in [0, 100] by interpolating between the tracked
+ * quantiles (and min/max at the ends). Tracks {50, 90, 95, 99} by
+ * default — the percentiles the serving reports and the control plane
+ * ask for.
+ */
+class StreamingQuantiles
+{
+  public:
+    explicit StreamingQuantiles(
+        std::vector<double> percentiles = {50.0, 90.0, 95.0, 99.0});
+
+    /** Fold one sample into every estimator. */
+    void add(double x);
+
+    /**
+     * Estimated percentile.
+     * @param p  Percentile in [0, 100]; tracked values answer
+     *           directly, others interpolate linearly between the
+     *           neighbouring tracked estimates (min/max bound the
+     *           ends).
+     * @return the estimate; 0 before the first sample.
+     */
+    double quantile(double p) const;
+
+    /** Samples folded so far. */
+    std::int64_t count() const { return acc_.count(); }
+
+    /** Running mean/min/max/variance of the stream. */
+    const Accumulator &summary() const { return acc_; }
+
+  private:
+    std::vector<double> percentiles_; //!< ascending, in [0, 100]
+    std::vector<P2Quantile> estimators_;
+    Accumulator acc_;
+};
+
+/** Monotone event count. */
+class Counter
+{
+  public:
+    /** Add `delta` (>= 0) events. */
+    void add(std::int64_t delta = 1) { value_ += delta; }
+
+    /** Overwrite with an externally accumulated total. */
+    void set(std::int64_t value) { value_ = value; }
+
+    std::int64_t value() const { return value_; }
+
+  private:
+    std::int64_t value_ = 0;
+};
+
+/** Last-written instantaneous value. */
+class Gauge
+{
+  public:
+    void set(double value) { value_ = value; }
+
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Streaming distribution summary: Accumulator + P² percentiles. */
+class Histogram
+{
+  public:
+    Histogram() : q_({50.0, 90.0, 95.0, 99.0}) {}
+
+    /** Fold one observation in. */
+    void observe(double x) { q_.add(x); }
+
+    std::int64_t count() const { return q_.count(); }
+    double mean() const { return q_.summary().mean(); }
+    double min() const { return q_.summary().min(); }
+    double max() const { return q_.summary().max(); }
+    double sum() const { return q_.summary().sum(); }
+
+    /** Estimated percentile, p in [0, 100]. */
+    double quantile(double p) const { return q_.quantile(p); }
+
+  private:
+    StreamingQuantiles q_;
+};
+
+/** Flattened registry state at one simulated instant. */
+struct CounterSnapshot
+{
+    Seconds simTime = 0.0;
+    /** name -> value, in registration order; histograms contribute
+     * name.count/.mean/.p50/.p95/.p99/.max entries. */
+    std::vector<std::pair<std::string, double>> values;
+};
+
+/**
+ * Insertion-ordered registry of named instruments. counter()/gauge()/
+ * histogram() get-or-create; returned references stay valid for the
+ * registry's lifetime (deque storage). Names are flat dotted strings
+ * ("serve.completed", "planner.retune_wall_ms").
+ */
+class MetricsRegistry
+{
+  public:
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** True when an instrument of any kind owns `name`. */
+    bool has(const std::string &name) const;
+
+    /** Flatten the current state (no snapshot recorded). */
+    CounterSnapshot snapshot(Seconds sim_time) const;
+
+    /** Flatten the current state and append it to snapshots(). */
+    void recordSnapshot(Seconds sim_time);
+
+    /** Snapshots recorded so far, in time order. */
+    const std::vector<CounterSnapshot> &snapshots() const
+    {
+        return snapshots_;
+    }
+
+    /**
+     * Write the recorded snapshots as JSON Lines: one object per
+     * snapshot with a leading "t" (simulated seconds) and, when
+     * `label` is non-empty, a "run" field — so several runs can share
+     * one output file.
+     */
+    void writeJsonl(std::ostream &os, const std::string &label = "") const;
+
+    /** writeJsonl() appended to `path`; throws FatalError on IO
+     * failure. */
+    void appendJsonlFile(const std::string &path,
+                         const std::string &label = "") const;
+
+  private:
+    // Deques keep references stable as instruments register.
+    std::deque<Counter> counters_;
+    std::deque<Gauge> gauges_;
+    std::deque<Histogram> histograms_;
+    /** Registration order across all kinds: (name, kind, index). */
+    enum class Kind
+    {
+        Counter,
+        Gauge,
+        Histogram
+    };
+    std::vector<std::pair<std::string, std::pair<Kind, std::size_t>>>
+        order_;
+    std::unordered_map<std::string, std::size_t> index_; //!< -> order_
+    std::vector<CounterSnapshot> snapshots_;
+};
+
+} // namespace laer
+
+#endif // LAER_OBS_METRICS_HH

@@ -1,5 +1,6 @@
 #include "planner/layout_tuner.hh"
 
+#include <chrono>
 #include <utility>
 #include <vector>
 
@@ -21,6 +22,8 @@ tuneExpertLayout(const Cluster &cluster, const RoutingMatrix &routing,
                "tuner needs at least one allocation scheme");
     LAER_CHECK(cluster.numDevices() == routing.numDevices(),
                "cluster does not match routing matrix");
+
+    const auto wall_start = std::chrono::steady_clock::now();
 
     const std::vector<TokenCount> loads = routing.expertLoads();
     const int n = cluster.numDevices();
@@ -79,6 +82,9 @@ tuneExpertLayout(const Cluster &cluster, const RoutingMatrix &routing,
     best.schemesTried = schemes;
     if (config.buildPlan)
         best.plan = liteRouting(cluster, routing, best.layout);
+    best.wallMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count();
     return best;
 }
 

@@ -58,6 +58,10 @@ struct LayoutDecision
     RoutingPlan plan;      //!< S under lite routing
     CostBreakdown cost;    //!< Eq. 2 value of (A, S)
     int schemesTried = 0;  //!< size of the evaluated replica set
+    /** Solver wall-clock time for this invocation, milliseconds.
+     * Measured inside tuneExpertLayout so every caller (engine retune
+     * spans, planner benches) reports the same quantity. */
+    double wallMs = 0.0;
 };
 
 /**

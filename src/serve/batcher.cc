@@ -324,6 +324,7 @@ ContinuousBatcher::nextBatch()
             }
             plan.entries.push_back(e);
             running_.push_back(r);
+            ++totalAdmissions_;
         }
     }
     return plan;

@@ -266,6 +266,11 @@ class ContinuousBatcher
     /** Recompute-style evictions since construction. */
     std::int64_t totalPreemptions() const { return totalPreemptions_; }
 
+    /** Waiting requests moved to running since construction. Counts
+     * every admission event, so a preempted-then-readmitted request
+     * contributes more than once. */
+    std::int64_t totalAdmissions() const { return totalAdmissions_; }
+
     const BatcherConfig &config() const { return config_; }
 
   private:
@@ -293,6 +298,7 @@ class ContinuousBatcher
     std::vector<Request> finished_;
     std::vector<int> preemptedLog_; //!< classes since last drain
     std::int64_t totalPreemptions_ = 0;
+    std::int64_t totalAdmissions_ = 0;
     bool admissionPaused_ = false;
     Bytes swapOutBytes_ = 0; //!< host offload since last drain
     Bytes swapInBytes_ = 0;  //!< host restore since last drain

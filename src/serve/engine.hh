@@ -147,6 +147,12 @@ struct EngineConfig
      * the check. Overruns are recorded per retune (retuneWall()) and
      * surfaced in ServingReport. */
     double tunerBudgetMs = 0.0;
+    /** Optional metrics registry (obs/metrics.hh): retunes observe the
+     * per-layer solver wall time into "planner.retune_wall_ms" and
+     * budget overruns bump "planner.retune_over_budget". Non-owning;
+     * null records nothing. Write-only — never read back, so attaching
+     * a registry cannot change simulation results. */
+    MetricsRegistry *metrics = nullptr;
 };
 
 /** Wall-clock record of one LAER retune (all layers of one engine). */

@@ -1,5 +1,7 @@
 #include "serve/kv_cache.hh"
 
+#include <algorithm>
+
 #include "core/error.hh"
 
 namespace laer
@@ -83,6 +85,8 @@ KvCachePool::grow(int id, TokenCount context)
                    << " B are free");
     it->second = target;
     reserved_ += delta;
+    peakReserved_ = std::max(peakReserved_, reserved_);
+    ++growOps_;
 }
 
 void
@@ -93,6 +97,7 @@ KvCachePool::release(int id)
         return;
     reserved_ -= it->second;
     perSeq_.erase(it);
+    ++releaseOps_;
 }
 
 bool

@@ -25,6 +25,7 @@
 #ifndef LAER_SERVE_KV_CACHE_HH
 #define LAER_SERVE_KV_CACHE_HH
 
+#include <cstdint>
 #include <unordered_map>
 
 #include "core/types.hh"
@@ -149,11 +150,23 @@ class KvCachePool
     /** Number of sequences holding a reservation. */
     int sequences() const { return static_cast<int>(perSeq_.size()); }
 
+    /** High-water mark of reservedBytes() over the pool's lifetime. */
+    Bytes peakReservedBytes() const { return peakReserved_; }
+
+    /** grow() calls that actually extended a reservation. */
+    std::int64_t growOps() const { return growOps_; }
+
+    /** release() calls that dropped a tracked reservation. */
+    std::int64_t releaseOps() const { return releaseOps_; }
+
   private:
     Bytes budget_;
     Bytes bytesPerToken_;
     TokenCount blockTokens_;
     Bytes reserved_ = 0;
+    Bytes peakReserved_ = 0;
+    std::int64_t growOps_ = 0;
+    std::int64_t releaseOps_ = 0;
     std::unordered_map<int, Bytes> perSeq_;
 };
 

@@ -49,7 +49,8 @@ Request::tpot() const
            static_cast<double>(decodeTokens - 1);
 }
 
-ServingMetrics::ServingMetrics(Seconds slo_ttft) : sloTtft_(slo_ttft)
+ServingMetrics::ServingMetrics(Seconds slo_ttft, MetricsMemoryMode mode)
+    : sloTtft_(slo_ttft), mode_(mode)
 {
     LAER_CHECK(slo_ttft > 0.0, "TTFT SLO must be positive");
 }
@@ -61,9 +62,15 @@ ServingMetrics::record(const Request &request)
                "only finished requests carry complete latencies");
     ++completed_;
     decodedTokens_ += request.decodeTokens;
-    ttfts_.push_back(request.ttft());
-    if (request.decodeTokens >= 2)
-        tpots_.push_back(request.tpot());
+    if (mode_ == MetricsMemoryMode::Exact) {
+        ttfts_.push_back(request.ttft());
+        if (request.decodeTokens >= 2)
+            tpots_.push_back(request.tpot());
+    } else {
+        ttftStream_.add(request.ttft());
+        if (request.decodeTokens >= 2)
+            tpotStream_.add(request.tpot());
+    }
     if (request.ttft() <= sloTtft_) {
         ++sloMet_;
         goodTokens_ += request.decodeTokens;
@@ -82,7 +89,10 @@ ServingMetrics::recordPreemption(int slo_class)
 void
 ServingMetrics::recordKvUtilization(double utilization)
 {
-    kvUtil_.push_back(utilization);
+    if (mode_ == MetricsMemoryMode::Exact)
+        kvUtil_.push_back(utilization);
+    else
+        kvUtilStream_.add(utilization);
 }
 
 std::int64_t
@@ -106,24 +116,32 @@ ServingMetrics::preemptions(int slo_class) const
 double
 ServingMetrics::meanKvUtilization() const
 {
+    if (mode_ == MetricsMemoryMode::Streaming)
+        return kvUtilStream_.mean();
     return mean(kvUtil_);
 }
 
 double
 ServingMetrics::peakKvUtilization() const
 {
+    if (mode_ == MetricsMemoryMode::Streaming)
+        return kvUtilStream_.max();
     return maxOf(kvUtil_);
 }
 
 Seconds
 ServingMetrics::ttftPercentile(double p) const
 {
+    if (mode_ == MetricsMemoryMode::Streaming)
+        return ttftStream_.quantile(p);
     return percentile(ttfts_, p);
 }
 
 Seconds
 ServingMetrics::tpotPercentile(double p) const
 {
+    if (mode_ == MetricsMemoryMode::Streaming)
+        return tpotStream_.quantile(p);
     return percentile(tpots_, p);
 }
 

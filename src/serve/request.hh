@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/types.hh"
+#include "obs/metrics.hh"
 
 namespace laer
 {
@@ -89,6 +90,25 @@ struct Request
 };
 
 /**
+ * Memory discipline of a ServingMetrics collector.
+ *
+ * Exact keeps every TTFT/TPOT/KV-utilization sample in vectors and
+ * reports sort-based percentiles — bit-identical to the historical
+ * behavior, and what TelemetryCollector's suffix cursors read.
+ * Streaming folds samples into P² estimators (obs/metrics.hh) and an
+ * Accumulator instead: O(1) memory regardless of request count, with
+ * percentiles inside the estimator's documented error bound. The
+ * sample accessors then return empty vectors, so per-window telemetry
+ * percentiles degrade to 0 while every counter (completed, SLO-met,
+ * decoded/good tokens, preemptions) stays identical across modes.
+ */
+enum class MetricsMemoryMode
+{
+    Exact,     //!< store every sample; exact percentiles (default)
+    Streaming, //!< bounded memory; P² estimated percentiles
+};
+
+/**
  * Accumulates completed requests and reports the latency/goodput
  * summary of a serving run. Goodput follows the SLO-attainment
  * convention: only requests whose TTFT met the target contribute
@@ -99,8 +119,14 @@ struct Request
 class ServingMetrics
 {
   public:
-    /** @param slo_ttft  TTFT target used for goodput attribution. */
-    explicit ServingMetrics(Seconds slo_ttft);
+    /**
+     * @param slo_ttft  TTFT target used for goodput attribution.
+     * @param mode      Sample storage discipline; see
+     *                  MetricsMemoryMode.
+     */
+    explicit ServingMetrics(
+        Seconds slo_ttft,
+        MetricsMemoryMode mode = MetricsMemoryMode::Exact);
 
     /**
      * Fold one finished request into the summary.
@@ -135,19 +161,24 @@ class ServingMetrics
     /** Peak recorded KV-utilization sample; 0 when empty. */
     double peakKvUtilization() const;
 
-    /** KV-utilization samples in recording order (one per step). */
+    /** KV-utilization samples in recording order (one per step).
+     * Empty in Streaming mode. */
     const std::vector<double> &kvUtilizationSeries() const
     {
         return kvUtil_;
     }
 
     /** TTFT samples in completion order — the control plane slices
-     * suffixes of this for per-window percentiles. */
+     * suffixes of this for per-window percentiles. Empty in Streaming
+     * mode (window percentiles then read 0). */
     const std::vector<double> &ttftSamples() const { return ttfts_; }
 
     /** TPOT samples (multi-token completions only) in completion
-     * order. */
+     * order. Empty in Streaming mode. */
     const std::vector<double> &tpotSamples() const { return tpots_; }
+
+    /** Sample storage discipline this collector was built with. */
+    MetricsMemoryMode memoryMode() const { return mode_; }
 
     /** Number of requests recorded. */
     std::int64_t completed() const { return completed_; }
@@ -195,14 +226,20 @@ class ServingMetrics
 
   private:
     Seconds sloTtft_;
+    MetricsMemoryMode mode_;
     std::int64_t completed_ = 0;
     std::int64_t sloMet_ = 0;
     TokenCount decodedTokens_ = 0;
     TokenCount goodTokens_ = 0;
+    // Exact mode: per-sample vectors (empty in Streaming mode).
     std::vector<double> ttfts_;
     std::vector<double> tpots_;
-    std::vector<std::int64_t> preemptionsByClass_;
     std::vector<double> kvUtil_;
+    // Streaming mode: bounded-memory estimators (unused in Exact).
+    StreamingQuantiles ttftStream_;
+    StreamingQuantiles tpotStream_;
+    Accumulator kvUtilStream_;
+    std::vector<std::int64_t> preemptionsByClass_;
 };
 
 } // namespace laer

@@ -1,6 +1,7 @@
 #include "serve/serving_sim.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <string>
 
@@ -106,7 +107,8 @@ normalizeConfig(const Cluster &cluster, ServingConfig config)
 ServingSimulator::ServingSimulator(const Cluster &cluster,
                                    const ServingConfig &config)
     : cluster_(cluster), config_(normalizeConfig(cluster, config)),
-      arrivals_(config_.arrival), metrics_(config_.sloTtft)
+      arrivals_(config_.arrival),
+      metrics_(config_.sloTtft, config_.metricsMode)
 {
     // One worker pool shared by every engine (engines step one at a
     // time, so there is no contention). threads == 1 stays pool-free.
@@ -134,6 +136,9 @@ ServingSimulator::ServingSimulator(const Cluster &cluster,
             engineConfigFor(slices_[i], static_cast<int>(i))));
     freeAt_.assign(engines_.size(), 0.0);
     poolStats_.resize(engines_.size());
+    retuneSeen_.assign(engines_.size(), 0);
+    drainStart_.assign(engines_.size(), -1.0);
+    nextSnapshot_ = config_.snapshotInterval;
     // Replica slices beyond the initial count start parked: their
     // devices are dark until the control plane spins them up.
     if (config_.replicas.replicaDevices > 0)
@@ -168,6 +173,7 @@ ServingSimulator::engineConfigFor(const DevicePoolSlice &slice,
     ec.tuner.pool = threadPool_.get();
     ec.pool = threadPool_.get();
     ec.tunerBudgetMs = config_.tunerBudgetMs;
+    ec.metrics = config_.metricsRegistry;
     ec.flexMaxMoves = config_.flexMaxMoves;
     ec.hostLinkBw = config_.hostLinkBw;
     // Engines draw from disjoint seed streams; pool 0 keeps the run's
@@ -391,6 +397,7 @@ ServingSimulator::requestReplicas(int target)
                                 live + spun < target; ++i) {
             if (engines_[i]->state() != EngineState::Stopped)
                 continue;
+            retireEngineCounters(i);
             engines_[i] = std::make_unique<ServingEngine>(
                 slices_[i],
                 engineConfigFor(slices_[i], static_cast<int>(i)),
@@ -408,6 +415,7 @@ ServingSimulator::requestReplicas(int target)
         event.after = target;
         event.loadDelay = delay;
         scalingEvents_.push_back(event);
+        emitScalingEvent(event);
     } else {
         // Scale down: close admission on the highest live slots; the
         // drain itself completes in applyReconfig() at each victim's
@@ -426,6 +434,7 @@ ServingSimulator::requestReplicas(int target)
             if (state == EngineState::Loading)
                 freeAt_[i] = now_; // no step in flight: drain at once
             engines_[i]->beginDrain();
+            drainStart_[static_cast<std::size_t>(i)] = now_;
             --to_drain;
         }
         applyReconfig();
@@ -493,6 +502,7 @@ ServingSimulator::requestSplit(int prefill_devices)
         if (engines_[i]->state() == EngineState::Loading)
             freeAt_[i] = now_; // no step in flight: drain at once
         engines_[i]->beginDrain();
+        drainStart_[static_cast<std::size_t>(i)] = now_;
     }
     applyReconfig();
     return true;
@@ -502,6 +512,145 @@ void
 ServingSimulator::recordControlWindow(const ControlWindowSample &sample)
 {
     windows_.push_back(sample);
+}
+
+// ---- observability plumbing -----------------------------------------
+// Every helper below is write-only: nothing recorded here is ever read
+// back by the simulation, so the attached/unattached states price
+// identically.
+
+std::string
+ServingSimulator::obsPrefix() const
+{
+    return config_.obsLabel.empty() ? std::string()
+                                    : config_.obsLabel + "/";
+}
+
+int
+ServingSimulator::poolTrack(std::size_t i)
+{
+    return config_.trace->track(obsPrefix() + slices_[i].name);
+}
+
+int
+ServingSimulator::plannerTrack(std::size_t i)
+{
+    return config_.trace->track(obsPrefix() + slices_[i].name +
+                                "/planner");
+}
+
+int
+ServingSimulator::kvTrack()
+{
+    return config_.trace->track(obsPrefix() + "kv_transfer");
+}
+
+int
+ServingSimulator::controlTrack()
+{
+    return config_.trace->track(obsPrefix() + "control");
+}
+
+void
+ServingSimulator::emitRetuneSpans(std::size_t i)
+{
+    const std::vector<RetuneWallSample> &samples =
+        engines_[i]->retuneWall();
+    if (config_.trace != nullptr) {
+        for (std::size_t s = retuneSeen_[i]; s < samples.size(); ++s) {
+            const RetuneWallSample &sample = samples[s];
+            // Solver wall time drawn on the simulated timeline: the
+            // span starts at the retuning step and is wallMs long, so
+            // a budget overrun is visible at a glance even though the
+            // solver runs off the simulated clock.
+            config_.trace->span(
+                plannerTrack(i), "retune", "planner", sample.simTime,
+                sample.wallMs * 1e-3,
+                {TraceArg{"wall_ms", sample.wallMs},
+                 TraceArg{"budget_ms", config_.tunerBudgetMs},
+                 TraceArg{"over_budget", sample.overBudget}});
+        }
+    }
+    retuneSeen_[i] = samples.size();
+}
+
+void
+ServingSimulator::emitScalingEvent(const ScalingEvent &event)
+{
+    LAER_METRIC_COUNT(config_.metricsRegistry, "ctrl.scaling_events",
+                      1);
+    LAER_TRACE_INSTANT(config_.trace, controlTrack(), event.action,
+                       "ctrl", event.requested,
+                       {TraceArg{"before", event.before},
+                        TraceArg{"after", event.after},
+                        TraceArg{"load_delay_s", event.loadDelay},
+                        TraceArg{"rehomed", event.rehomed}});
+}
+
+void
+ServingSimulator::updateRegistryGauges()
+{
+    MetricsRegistry *reg = config_.metricsRegistry;
+    if (reg == nullptr)
+        return;
+    std::int64_t admissions = admissionsBase_;
+    int waiting = 0;
+    int running = 0;
+    double kv_util = 0.0;
+    for (const auto &engine : engines_) {
+        admissions += engine->batcher().totalAdmissions();
+        waiting += engine->batcher().waitingCount();
+        running += engine->batcher().runningCount();
+        if (engine->batcher().kvEnabled())
+            kv_util = std::max(kv_util,
+                               engine->batcher().kvUtilization());
+    }
+    // Counters come from the simulator's authoritative totals via
+    // set(), so engine rebuilds (replica spin-up, split) never lose
+    // counts.
+    reg->counter("serve.offered").set(offered_);
+    reg->counter("serve.admissions").set(admissions);
+    reg->counter("serve.completed").set(metrics_.completed());
+    reg->counter("serve.slo_met").set(metrics_.sloMet());
+    reg->counter("serve.decoded_tokens").set(metrics_.decodedTokens());
+    reg->counter("serve.good_tokens").set(metrics_.goodTokens());
+    reg->counter("serve.preemptions").set(metrics_.totalPreemptions());
+    reg->counter("serve.steps")
+        .set(static_cast<std::int64_t>(steps_.size()));
+    reg->counter("serve.migrated").set(migrated_);
+    reg->counter("serve.kv_transfer_bytes").set(kvTransferBytes_);
+    reg->gauge("serve.active_replicas").set(activeReplicas());
+    reg->gauge("serve.queue_depth").set(waiting);
+    reg->gauge("serve.running").set(running);
+    reg->gauge("serve.kv_utilization").set(kv_util);
+    reg->gauge("serve.device_seconds").set(deviceSecondsSoFar());
+}
+
+void
+ServingSimulator::maybeSnapshot()
+{
+    if (config_.metricsRegistry == nullptr ||
+        config_.snapshotInterval <= 0.0)
+        return;
+    // Snapshots are stamped with the boundary they represent; a long
+    // event jump can cross several boundaries, each recorded with the
+    // state as of the first event at-or-after it.
+    while (now_ >= nextSnapshot_) {
+        updateRegistryGauges();
+        config_.metricsRegistry->recordSnapshot(nextSnapshot_);
+        nextSnapshot_ += config_.snapshotInterval;
+    }
+}
+
+void
+ServingSimulator::retireEngineCounters(std::size_t i)
+{
+    emitRetuneSpans(i);
+    admissionsBase_ += engines_[i]->batcher().totalAdmissions();
+    for (const RetuneWallSample &sample : engines_[i]->retuneWall())
+        retiredRetuneMs_ += sample.wallMs;
+    retuneSeen_[i] = 0;
+    drainStart_[i] = -1.0;
 }
 
 void
@@ -523,6 +672,14 @@ ServingSimulator::applyReconfig()
         harvestFinished(static_cast<int>(i));
         accruePower(now_);
         std::vector<Request> evicted = engines_[i]->drain();
+        emitRetuneSpans(i);
+        if (config_.trace != nullptr && drainStart_[i] >= 0.0)
+            config_.trace->span(
+                poolTrack(i), "drain", "ctrl", drainStart_[i],
+                now_ - drainStart_[i],
+                {TraceArg{"evicted",
+                          static_cast<int>(evicted.size())}});
+        drainStart_[i] = -1.0;
         if (pending_.split) {
             pending_.held[i] = std::move(evicted);
         } else {
@@ -548,6 +705,7 @@ ServingSimulator::applyReconfig()
             {"prefill", "decode"});
         Seconds delay = 0.0;
         for (int i = 0; i < 2; ++i) {
+            retireEngineCounters(static_cast<std::size_t>(i));
             engines_[i] = std::make_unique<ServingEngine>(
                 slices_[i], engineConfigFor(slices_[i], i),
                 EngineState::Loading);
@@ -568,6 +726,7 @@ ServingSimulator::applyReconfig()
         event.loadDelay = delay;
         event.rehomed = pending_.rehomed;
         scalingEvents_.push_back(event);
+        emitScalingEvent(event);
         pending_ = PendingReconfig{};
     } else {
         for (const auto &engine : engines_)
@@ -581,6 +740,7 @@ ServingSimulator::applyReconfig()
         event.after = pending_.target;
         event.rehomed = pending_.rehomed;
         scalingEvents_.push_back(event);
+        emitScalingEvent(event);
         pending_ = PendingReconfig{};
     }
 }
@@ -609,6 +769,7 @@ ServingSimulator::pumpArrivals()
             // buffers the due arrival until the new pool exists (its
             // queueing delay lands in TTFT as usual).
             break;
+        std::size_t target = 0;
         if (config_.policy == ServingPolicy::Disaggregated) {
             // The prefill pool runs the request only up to its first
             // token; the requested decode length is restored when the
@@ -618,11 +779,19 @@ ServingSimulator::pumpArrivals()
             prefill_only.decodeTokens = 1;
             engines_[0]->enqueue(prefill_only);
         } else if (config_.replicas.replicaDevices > 0) {
-            engines_[pickEngineForArrival()]->enqueue(lookahead_);
+            target = static_cast<std::size_t>(pickEngineForArrival());
+            engines_[target]->enqueue(lookahead_);
         } else {
             engines_[0]->enqueue(lookahead_);
         }
         ++offered_;
+        LAER_TRACE_INSTANT(config_.trace, poolTrack(target), "admit",
+                           "serve", lookahead_.arrival,
+                           {TraceArg{"id", lookahead_.id},
+                            TraceArg{"prefill",
+                                     lookahead_.prefillTokens},
+                            TraceArg{"decode", lookahead_.decodeTokens},
+                            TraceArg{"class", lookahead_.sloClass}});
         lookaheadValid_ = false;
     }
 }
@@ -631,9 +800,19 @@ void
 ServingSimulator::harvestFinished(int pool_index)
 {
     const bool disagg = config_.policy == ServingPolicy::Disaggregated;
+    const auto recordCompletion = [this](const Request &done) {
+        metrics_.record(done);
+        if (config_.metricsRegistry != nullptr) {
+            config_.metricsRegistry->histogram("serve.ttft_s")
+                .observe(done.ttft());
+            if (done.decodeTokens >= 2)
+                config_.metricsRegistry->histogram("serve.tpot_s")
+                    .observe(done.tpot());
+        }
+    };
     for (Request r : engines_[pool_index]->takeFinished()) {
         if (!disagg || pool_index == 1) {
-            metrics_.record(r);
+            recordCompletion(r);
             continue;
         }
         // Prefill pool: the "finished" request is the prefill-only
@@ -646,7 +825,7 @@ ServingSimulator::harvestFinished(int pool_index)
         if (decode_target <= 1) {
             // Single-token request: nothing left to decode, and no KV
             // to move.
-            metrics_.record(r);
+            recordCompletion(r);
             continue;
         }
         // Hand the context over: its KV crosses the inter-pool links.
@@ -654,6 +833,10 @@ ServingSimulator::harvestFinished(int pool_index)
             r.contextLength() * kvBytesPerToken(config_.model);
         const Seconds wire = kvTransferTime(
             cluster_, engines_[0]->slice(), engines_[1]->slice(), bytes);
+        LAER_TRACE_SPAN(config_.trace, kvTrack(), "kv_transfer",
+                        "serve", r.finishTime, wire,
+                        {TraceArg{"id", r.id}, TraceArg{"bytes", bytes},
+                         TraceArg{"context", r.contextLength()}});
         PendingMigration m;
         m.readyAt = r.finishTime + wire;
         r.decodeTokens = decode_target;
@@ -724,8 +907,12 @@ ServingSimulator::runDueEngines()
         // when the plan comes back empty.
         const std::vector<int> preempted =
             engine.takePreemptedClasses();
-        for (const int slo_class : preempted)
+        for (const int slo_class : preempted) {
             metrics_.recordPreemption(slo_class);
+            LAER_TRACE_INSTANT(config_.trace, poolTrack(i), "preempt",
+                               "serve", now_,
+                               {TraceArg{"class", slo_class}});
+        }
         poolStats_[i].preemptions +=
             static_cast<std::int64_t>(preempted.size());
         if (plan.empty()) {
@@ -736,7 +923,17 @@ ServingSimulator::runDueEngines()
             continue;
         }
 
-        ServingStepResult res = engine.executeStep(plan, now_);
+        ServingStepResult res;
+        if (config_.selfProfile) {
+            const auto exec_start = std::chrono::steady_clock::now();
+            res = engine.executeStep(plan, now_);
+            profExecMs_ +=
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - exec_start)
+                    .count();
+        } else {
+            res = engine.executeStep(plan, now_);
+        }
         res.pool = static_cast<int>(i);
         res.preemptions = static_cast<int>(preempted.size());
         if (engine.batcher().kvEnabled()) {
@@ -748,6 +945,24 @@ ServingSimulator::runDueEngines()
         freeAt_[i] = now_ + res.duration;
         engine.commitStep(plan, freeAt_[i]);
         ++poolStats_[i].steps;
+        if (config_.trace != nullptr) {
+            const char *kind =
+                res.prefill > 0 && res.decode > 0 ? "mixed_step"
+                : res.prefill > 0                 ? "prefill_step"
+                                                  : "decode_step";
+            config_.trace->span(
+                poolTrack(i), kind, "serve", now_, res.duration,
+                {TraceArg{"tokens", res.tokens},
+                 TraceArg{"prefill", res.prefill},
+                 TraceArg{"decode", res.decode},
+                 TraceArg{"kv_util", res.kvUtilization},
+                 TraceArg{"retuned", res.retuned}});
+        }
+        if (config_.metricsRegistry != nullptr)
+            config_.metricsRegistry->histogram("serve.step_time_s")
+                .observe(res.duration);
+        if (res.retuned)
+            emitRetuneSpans(i);
         harvestFinished(static_cast<int>(i));
 
         if (shared_layout) {
@@ -793,6 +1008,20 @@ ServingSimulator::nextEventTime() const
 bool
 ServingSimulator::step()
 {
+    maybeSnapshot();
+    if (!config_.selfProfile)
+        return stepOnce();
+    const auto step_start = std::chrono::steady_clock::now();
+    const bool more = stepOnce();
+    profStepMs_ += std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - step_start)
+                       .count();
+    return more;
+}
+
+bool
+ServingSimulator::stepOnce()
+{
     applyReconfig();
     pumpArrivals();
     pumpMigrations();
@@ -834,6 +1063,27 @@ ServingSimulator::finish()
         if (engines_[i]->state() != EngineState::Loading)
             now_ = std::max(now_, freeAt_[i]);
     accruePower(now_);
+    if (config_.trace != nullptr)
+        for (std::size_t i = 0; i < engines_.size(); ++i)
+            emitRetuneSpans(i);
+    if (config_.metricsRegistry != nullptr) {
+        updateRegistryGauges();
+        if (config_.selfProfile) {
+            double retune_ms = retiredRetuneMs_;
+            for (const auto &engine : engines_)
+                for (const RetuneWallSample &s : engine->retuneWall())
+                    retune_ms += s.wallMs;
+            config_.metricsRegistry->gauge("profile.retune_ms")
+                .set(retune_ms);
+            config_.metricsRegistry->gauge("profile.step_pricing_ms")
+                .set(std::max(0.0, profExecMs_ - retune_ms));
+            config_.metricsRegistry->gauge("profile.event_loop_ms")
+                .set(std::max(0.0, profStepMs_ - profExecMs_));
+        }
+        // A final snapshot at end-of-run, even when interval snapshots
+        // are off, so --metrics-out always captures the run's totals.
+        config_.metricsRegistry->recordSnapshot(now_);
+    }
     return buildReport();
 }
 
@@ -918,6 +1168,17 @@ ServingSimulator::buildReport() const
     report.deviceSeconds = deviceSecondsSoFar();
     report.scalingEvents = scalingEvents_;
     report.windows = windows_;
+
+    if (config_.selfProfile) {
+        double retune_ms = retiredRetuneMs_;
+        for (const RetuneWallSample &sample : report.retuneWall)
+            retune_ms += sample.wallMs;
+        report.profRetuneMs = retune_ms;
+        report.profStepPricingMs =
+            std::max(0.0, profExecMs_ - retune_ms);
+        report.profEventLoopMs =
+            std::max(0.0, profStepMs_ - profExecMs_);
+    }
     return report;
 }
 

@@ -55,6 +55,7 @@
 #include "core/stats.hh"
 #include "model/config.hh"
 #include "model/memory.hh"
+#include "obs/obs.hh"
 #include "planner/layout_tuner.hh"
 #include "serve/arrival.hh"
 #include "serve/batcher.hh"
@@ -147,6 +148,34 @@ struct ServingConfig
      * (the planner must stay inside the budget for async re-layout
      * to hide behind serving steps at 512-1024 devices). */
     double tunerBudgetMs = 0.0;
+
+    // ---- observability (src/obs/, docs/OBSERVABILITY.md) ----------
+    // All of it is strictly write-only: recorders are never read back,
+    // so attaching them cannot change a single simulated number, and
+    // leaving them null (the default) skips every emission behind one
+    // pointer test.
+
+    /** Optional trace recorder: step/retune/KV-transfer/drain spans
+     * and admission/preemption/scaling instants land here. Non-owning;
+     * the caller writes the file after the run. */
+    TraceRecorder *trace = nullptr;
+    /** Optional metrics registry fed by the run's counters, gauges and
+     * histograms. Non-owning; the caller exports it after the run. */
+    MetricsRegistry *metricsRegistry = nullptr;
+    /** Simulated seconds between CounterSnapshot recordings into
+     * `metricsRegistry`; 0 records only the final snapshot. */
+    Seconds snapshotInterval = 0.0;
+    /** Sample-storage discipline of the run's ServingMetrics; Exact
+     * (default) keeps historical bit-identical percentiles, Streaming
+     * bounds memory for million-request sweeps. */
+    MetricsMemoryMode metricsMode = MetricsMemoryMode::Exact;
+    /** Prefix for trace track names ("AutoReplica@35" ->
+     * "AutoReplica@35/replica0"), so several runs of one bench can
+     * share a recorder without colliding tracks. */
+    std::string obsLabel;
+    /** Record per-phase wall-time self-profiling (step pricing vs
+     * retune solver vs event loop) into the report and registry. */
+    bool selfProfile = false;
 };
 
 /** Per-pool slice of a run's summary. */
@@ -238,6 +267,12 @@ struct ServingReport
     double deviceSeconds = 0.0;    //!< integral of powered devices
     std::vector<ScalingEvent> scalingEvents;
     std::vector<ControlWindowSample> windows;
+
+    // Wall-time self-profile of the simulator process itself (real
+    // milliseconds; zeros unless ServingConfig::selfProfile).
+    double profStepPricingMs = 0.0; //!< executeStep() minus the solver
+    double profRetuneMs = 0.0;      //!< LAER solver wall time
+    double profEventLoopMs = 0.0;   //!< step() wall outside pricing
 };
 
 /**
@@ -423,6 +458,42 @@ class ServingSimulator
      * @return true when at least one engine executed a step. */
     bool runDueEngines();
 
+    /** step() body (step() wraps it with snapshots + profiling). */
+    bool stepOnce();
+
+    // ---- observability plumbing (no-ops when nothing is attached) --
+
+    /** Track-name prefix: "<obsLabel>/" or "". */
+    std::string obsPrefix() const;
+
+    /** Get-or-create engine `i`'s serve track. */
+    int poolTrack(std::size_t i);
+
+    /** Get-or-create engine `i`'s planner (retune) track. */
+    int plannerTrack(std::size_t i);
+
+    /** Get-or-create the shared kv_transfer / control tracks. */
+    int kvTrack();
+    int controlTrack();
+
+    /** Emit retune spans for engine `i`'s wall samples recorded since
+     * the last call (tracked by retuneSeen_). */
+    void emitRetuneSpans(std::size_t i);
+
+    /** Emit a ScalingEvent instant on the control track. */
+    void emitScalingEvent(const ScalingEvent &event);
+
+    /** Fold the run's authoritative counters/gauges into the attached
+     * registry (called before every snapshot). */
+    void updateRegistryGauges();
+
+    /** Record due periodic CounterSnapshots (simulated cadence). */
+    void maybeSnapshot();
+
+    /** Accumulate a to-be-rebuilt engine's monotone counters so they
+     * survive the rebuild, and reset its per-engine cursors. */
+    void retireEngineCounters(std::size_t i);
+
     /** Earliest future event (engine finish, arrival, transfer);
      * +infinity when the run has fully drained. */
     Seconds nextEventTime() const;
@@ -472,6 +543,17 @@ class ServingSimulator
     Seconds kvTransferSeconds_ = 0.0;
     Seconds transferStallSeconds_ = 0.0;
     std::vector<ServingStepResult> steps_;
+
+    // Observability state (inert when no recorder/registry attached).
+    std::vector<std::size_t> retuneSeen_; //!< retune spans emitted
+    std::vector<Seconds> drainStart_;     //!< beginDrain time, or < 0
+    Seconds nextSnapshot_ = 0.0;          //!< next periodic boundary
+    std::int64_t admissionsBase_ = 0;     //!< from rebuilt engines
+    double retiredRetuneMs_ = 0.0;        //!< solver wall, rebuilt
+                                          //!< engines
+    // Self-profiling accumulators (real milliseconds).
+    double profExecMs_ = 0.0; //!< wall inside executeStep()
+    double profStepMs_ = 0.0; //!< wall inside step()
 };
 
 } // namespace laer

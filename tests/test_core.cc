@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <vector>
@@ -175,6 +176,39 @@ TEST(Stats, Percentile)
     EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
 }
 
+TEST(Stats, PercentileLeavesInputUntouched)
+{
+    // percentile() takes a const ref and uses internal scratch: the
+    // caller's vector must come back in its original (unsorted) order.
+    const std::vector<double> xs{5, 1, 4, 2, 3};
+    const std::vector<double> before = xs;
+    EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 90), 4.6);
+    EXPECT_EQ(xs, before);
+}
+
+TEST(Stats, PercentileInterpolatesLikeSortedRank)
+{
+    // Cross-check nth_element selection against a full sort on a
+    // larger sample: both must produce the same interpolated values.
+    Rng rng(17);
+    std::vector<double> xs;
+    for (int i = 0; i < 257; ++i)
+        xs.push_back(rng.uniform() * 100.0);
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    for (const double p : {0.0, 10.0, 50.0, 95.0, 99.0, 100.0}) {
+        const double rank =
+            p / 100.0 * static_cast<double>(sorted.size() - 1);
+        const std::size_t lo = static_cast<std::size_t>(rank);
+        const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+        const double frac = rank - static_cast<double>(lo);
+        const double expected =
+            sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+        EXPECT_DOUBLE_EQ(percentile(xs, p), expected) << "p=" << p;
+    }
+}
+
 TEST(Stats, ImbalanceFactor)
 {
     EXPECT_DOUBLE_EQ(imbalanceFactor({4, 4, 4, 4}), 1.0);
@@ -194,6 +228,34 @@ TEST(Stats, AccumulatorTracksSummary)
     EXPECT_DOUBLE_EQ(acc.min(), 1.0);
     EXPECT_DOUBLE_EQ(acc.max(), 3.0);
     EXPECT_DOUBLE_EQ(acc.sum(), 6.0);
+}
+
+TEST(Stats, AccumulatorVariance)
+{
+    Accumulator acc;
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0); // empty
+    acc.add(5.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0); // single sample
+    Accumulator pop;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        pop.add(x);
+    // Classic population-variance example: mean 5, variance 4.
+    EXPECT_NEAR(pop.variance(), 4.0, 1e-12);
+    EXPECT_NEAR(pop.stddev(), 2.0, 1e-12);
+
+    // Welford must agree with the two-pass formula on random data.
+    Rng rng(23);
+    Accumulator w;
+    std::vector<double> xs;
+    for (int i = 0; i < 500; ++i) {
+        xs.push_back(rng.gaussian(10.0, 3.0));
+        w.add(xs.back());
+    }
+    double sq = 0.0;
+    for (const double x : xs)
+        sq += (x - mean(xs)) * (x - mean(xs));
+    EXPECT_NEAR(w.variance(), sq / static_cast<double>(xs.size()),
+                1e-9);
 }
 
 TEST(Table, RendersAlignedAndCsv)

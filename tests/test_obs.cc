@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Unit tests for the observability layer (src/obs): the Chrome/
+ * Perfetto trace recorder, the P2 streaming-quantile estimator vs the
+ * exact percentile() on several sample shapes, the metrics registry's
+ * counters/gauges/histograms and JSONL snapshots, and an end-to-end
+ * check that ServingMetrics' streaming memory mode changes reported
+ * percentiles only within the documented error bound — never the
+ * admission/goodput counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/error.hh"
+#include "core/rng.hh"
+#include "core/stats.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "serve/serving_sim.hh"
+#include "topo/cluster.hh"
+
+namespace laer
+{
+namespace
+{
+
+// ---------------------------------------------------------------- trace
+
+TEST(Trace, EmitsCompleteAndInstantEvents)
+{
+    TraceRecorder rec;
+    const int pool = rec.track("pool0");
+    const int planner = rec.track("pool0/planner");
+    EXPECT_NE(pool, planner);
+    EXPECT_EQ(pool, rec.track("pool0")); // get-or-create
+
+    rec.span(pool, "decode_step", "serve", 1.0, 0.25,
+             {TraceArg{"tokens", 128}});
+    rec.instant(pool, "admit", "serve", 0.5, {TraceArg{"id", 7}});
+    rec.span(planner, "retune", "planner", 1.5, 0.001, {});
+
+    std::ostringstream os;
+    rec.write(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    // Track names land as thread_name metadata.
+    EXPECT_NE(json.find("\"pool0\""), std::string::npos);
+    EXPECT_NE(json.find("\"pool0/planner\""), std::string::npos);
+    // 1.0 s -> 1e6 us, 0.25 s -> 250000 us.
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":1000000"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":250000"), std::string::npos);
+    // Instants carry thread scope.
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+    EXPECT_NE(json.find("\"tokens\":128"), std::string::npos);
+}
+
+TEST(Trace, TimestampsMonotonePerTrackAfterWrite)
+{
+    TraceRecorder rec;
+    const int t = rec.track("pool");
+    // Emitted out of order on purpose: write() must sort per track.
+    rec.span(t, "b", "serve", 2.0, 0.1, {});
+    rec.span(t, "a", "serve", 1.0, 0.1, {});
+    rec.instant(t, "i", "serve", 0.5, {});
+    std::ostringstream os;
+    rec.write(os);
+    const std::string json = os.str();
+    const std::size_t pa = json.find("\"name\":\"a\"");
+    const std::size_t pb = json.find("\"name\":\"b\"");
+    const std::size_t pi = json.find("\"name\":\"i\"");
+    ASSERT_NE(pa, std::string::npos);
+    ASSERT_NE(pb, std::string::npos);
+    ASSERT_NE(pi, std::string::npos);
+    EXPECT_LT(pi, pa);
+    EXPECT_LT(pa, pb);
+}
+
+TEST(Trace, EscapesStringsInNamesAndArgs)
+{
+    TraceRecorder rec;
+    const int t = rec.track("a\"b\\c");
+    rec.instant(t, "ev\nname", "serve", 0.0,
+                {TraceArg{"note", std::string("tab\there")}});
+    std::ostringstream os;
+    rec.write(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("a\\\"b\\\\c"), std::string::npos);
+    EXPECT_NE(json.find("ev\\nname"), std::string::npos);
+    EXPECT_NE(json.find("tab\\there"), std::string::npos);
+}
+
+// ------------------------------------------------------------ quantiles
+
+TEST(P2Quantile, ExactUnderFiveSamples)
+{
+    P2Quantile q(0.5);
+    q.add(3.0);
+    q.add(1.0);
+    EXPECT_DOUBLE_EQ(q.value(), percentile({3.0, 1.0}, 50.0));
+    q.add(2.0);
+    q.add(10.0);
+    EXPECT_DOUBLE_EQ(q.value(),
+                     percentile({3.0, 1.0, 2.0, 10.0}, 50.0));
+}
+
+/** Relative error of the estimator vs the exact percentile, with an
+ * absolute floor so near-zero exact values do not blow it up. */
+double
+relErr(double estimate, double exact)
+{
+    return std::abs(estimate - exact) /
+           std::max(std::abs(exact), 1e-9);
+}
+
+void
+checkStreamingAccuracy(const std::vector<double> &xs, double tolerance)
+{
+    StreamingQuantiles stream;
+    for (const double x : xs)
+        stream.add(x);
+    for (const double p : {50.0, 95.0, 99.0}) {
+        const double exact = percentile(xs, p);
+        const double est = stream.quantile(p);
+        EXPECT_LT(relErr(est, exact), tolerance)
+            << "p" << p << ": streaming " << est << " vs exact "
+            << exact << " on n=" << xs.size();
+    }
+    // Bounds are exact regardless of distribution.
+    EXPECT_DOUBLE_EQ(stream.quantile(0.0),
+                     *std::min_element(xs.begin(), xs.end()));
+    EXPECT_DOUBLE_EQ(stream.quantile(100.0),
+                     *std::max_element(xs.begin(), xs.end()));
+}
+
+TEST(StreamingQuantiles, UniformWithinDocumentedBound)
+{
+    Rng rng(11);
+    std::vector<double> xs;
+    for (int i = 0; i < 5000; ++i)
+        xs.push_back(rng.uniform() * 100.0);
+    checkStreamingAccuracy(xs, 0.05); // docs/OBSERVABILITY.md bound
+}
+
+TEST(StreamingQuantiles, LognormalWithinDocumentedBound)
+{
+    Rng rng(13);
+    std::vector<double> xs;
+    for (int i = 0; i < 5000; ++i)
+        xs.push_back(std::exp(rng.gaussian(0.0, 1.0)));
+    checkStreamingAccuracy(xs, 0.05);
+}
+
+TEST(StreamingQuantiles, BimodalWithinRelaxedBound)
+{
+    // Two well-separated modes (70% around 10, 30% around 100): the
+    // hardest shape for P2's parabolic interpolation — the documented
+    // bound relaxes to 10%.
+    Rng rng(19);
+    std::vector<double> xs;
+    for (int i = 0; i < 5000; ++i)
+        xs.push_back(rng.uniform() < 0.7
+                         ? rng.gaussian(10.0, 2.0)
+                         : rng.gaussian(100.0, 5.0));
+    checkStreamingAccuracy(xs, 0.10);
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(Metrics, CountersGaugesAndSnapshots)
+{
+    MetricsRegistry reg;
+    reg.counter("serve.offered").add(3);
+    reg.counter("serve.offered").add(2);
+    reg.gauge("serve.queue_depth").set(7.0);
+    reg.histogram("serve.ttft_s").observe(0.1);
+    reg.histogram("serve.ttft_s").observe(0.3);
+    EXPECT_EQ(reg.counter("serve.offered").value(), 5);
+    EXPECT_TRUE(reg.has("serve.queue_depth"));
+    EXPECT_FALSE(reg.has("serve.missing"));
+    // Name reuse across kinds is a bug, not a new metric.
+    EXPECT_THROW(reg.gauge("serve.offered"), FatalError);
+
+    const CounterSnapshot snap = reg.snapshot(12.5);
+    EXPECT_DOUBLE_EQ(snap.simTime, 12.5);
+    const auto find = [&snap](const std::string &name) {
+        for (const auto &[key, value] : snap.values)
+            if (key == name)
+                return value;
+        ADD_FAILURE() << "missing " << name;
+        return -1.0;
+    };
+    EXPECT_DOUBLE_EQ(find("serve.offered"), 5.0);
+    EXPECT_DOUBLE_EQ(find("serve.queue_depth"), 7.0);
+    EXPECT_DOUBLE_EQ(find("serve.ttft_s.count"), 2.0);
+    EXPECT_DOUBLE_EQ(find("serve.ttft_s.max"), 0.3);
+
+    reg.recordSnapshot(1.0);
+    reg.counter("serve.offered").add(1);
+    reg.recordSnapshot(2.0);
+    std::ostringstream os;
+    reg.writeJsonl(os, "runA");
+    const std::string jsonl = os.str();
+    EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 2);
+    EXPECT_NE(jsonl.find("\"run\":\"runA\""), std::string::npos);
+    EXPECT_NE(jsonl.find("\"t\":1"), std::string::npos);
+    EXPECT_NE(jsonl.find("\"serve.offered\":6"), std::string::npos);
+}
+
+// ------------------------------------------- streaming ServingMetrics
+
+ServingConfig
+e2eConfig(MetricsMemoryMode mode)
+{
+    ServingConfig cfg;
+    cfg.model = mixtral8x7bE8K2();
+    cfg.policy = ServingPolicy::LaerServe;
+    cfg.capacity = 2;
+    cfg.simulatedLayers = 2;
+    cfg.horizon = 5.0;
+    cfg.sloTtft = 0.5;
+    cfg.arrival.kind = ArrivalKind::Bursty;
+    cfg.arrival.ratePerSec = 30.0;
+    cfg.arrival.meanPrefillTokens = 256;
+    cfg.arrival.meanDecodeTokens = 32;
+    cfg.arrival.seed = 11;
+    cfg.batcher.tokenBudget = 8192;
+    cfg.batcher.prefillChunk = 512;
+    cfg.hbmPerDevice = (51LL << 30) / 4;
+    cfg.routing.skew = 1.2;
+    cfg.routing.drift = 0.98;
+    cfg.retunePeriod = 16;
+    cfg.seed = 3;
+    cfg.metricsMode = mode;
+    return cfg;
+}
+
+TEST(ServingMetricsModes, StreamingNeverChangesCountersAndTracksP95)
+{
+    const Cluster cluster(2, 4, 300e9, 12.5e9, 212e12);
+    ServingSimulator exact(cluster,
+                           e2eConfig(MetricsMemoryMode::Exact));
+    const ServingReport re = exact.run();
+    ServingSimulator streaming(cluster,
+                               e2eConfig(MetricsMemoryMode::Streaming));
+    const ServingReport rs = streaming.run();
+    ASSERT_GT(re.completed, 50);
+
+    // The memory mode is a reporting choice: admissions, completions
+    // and every goodput counter must be bit-identical.
+    EXPECT_EQ(rs.offered, re.offered);
+    EXPECT_EQ(rs.completed, re.completed);
+    EXPECT_EQ(rs.sloMet, re.sloMet);
+    EXPECT_EQ(rs.steps, re.steps);
+    EXPECT_EQ(rs.preemptions, re.preemptions);
+    EXPECT_DOUBLE_EQ(rs.throughputTps, re.throughputTps);
+    EXPECT_DOUBLE_EQ(rs.goodputTps, re.goodputTps);
+    EXPECT_DOUBLE_EQ(rs.elapsed, re.elapsed);
+
+    // Streaming percentiles track the exact ones within a loose e2e
+    // bound (a few hundred samples, well under the n >= 1000 regime).
+    EXPECT_LT(relErr(rs.ttftP50, re.ttftP50), 0.15);
+    EXPECT_LT(relErr(rs.tpotP50, re.tpotP50), 0.15);
+    EXPECT_LT(relErr(rs.ttftP99, re.ttftP99), 0.20);
+
+    // And the memory claim itself: streaming keeps no sample vectors.
+    EXPECT_TRUE(streaming.metrics().ttftSamples().empty());
+    EXPECT_TRUE(streaming.metrics().tpotSamples().empty());
+    EXPECT_FALSE(exact.metrics().ttftSamples().empty());
+    EXPECT_EQ(streaming.metrics().memoryMode(),
+              MetricsMemoryMode::Streaming);
+}
+
+} // namespace
+} // namespace laer
