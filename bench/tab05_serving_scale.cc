@@ -52,6 +52,7 @@
 #include "core/error.hh"
 #include "core/rng.hh"
 #include "core/table.hh"
+#include "difftest/diff.hh"
 #include "core/thread_pool.hh"
 #include "model/config.hh"
 #include "planner/cost_model.hh"
@@ -320,11 +321,33 @@ try {
             const LayerPrice sparse = priceLayerSparse(
                 cluster, step_routing, index, model.tokenBytes(),
                 plan_scratch, load_scratch);
-            LAER_CHECK(dense.dispatch == sparse.dispatch &&
-                           dense.combine == sparse.combine &&
-                           dense.recv == sparse.recv,
+            // Bit-identity through the diff harness: a divergence
+            // names the first differing quantity with both values.
+            laer::SnapshotStream dense_stream, sparse_stream;
+            laer::CounterSnapshot ds, ss;
+            ds.simTime = ss.simTime = static_cast<double>(gpus);
+            ds.values = {{"dispatch_s", dense.dispatch},
+                         {"combine_s", dense.combine}};
+            ss.values = {{"dispatch_s", sparse.dispatch},
+                         {"combine_s", sparse.combine}};
+            for (std::size_t d = 0; d < dense.recv.size(); ++d)
+                if (dense.recv[d] != sparse.recv[d]) {
+                    ds.values.push_back(
+                        {"recv." + std::to_string(d),
+                         static_cast<double>(dense.recv[d])});
+                    ss.values.push_back(
+                        {"recv." + std::to_string(d),
+                         static_cast<double>(sparse.recv[d])});
+                }
+            dense_stream.snapshots.push_back(std::move(ds));
+            sparse_stream.snapshots.push_back(std::move(ss));
+            const laer::DiffReport parity =
+                diffStreams(dense_stream, sparse_stream);
+            LAER_CHECK(parity.identical() &&
+                           dense.recv.size() == sparse.recv.size(),
                        "sparse step pricing diverged from dense at "
-                           << gpus << " devices");
+                           << gpus << " devices\n"
+                           << parity.toText());
 
             Clock::time_point t0 = Clock::now();
             for (int rep = 0; rep < step_reps; ++rep)

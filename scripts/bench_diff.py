@@ -7,6 +7,10 @@ Usage:
 Fails (exit 1) when:
   * either file is missing, empty, or not the expected shape;
   * the current run has no scales in common with the baseline;
+  * the current run lacks a metric the baseline budgets (a silently
+    absent metric must never read as a 0 ms "improvement");
+  * no metric was actually compared (an all-zero baseline would
+    otherwise vacuously pass);
   * any compared wall-time metric regresses by more than R (default
     2.0) at a scale present in both files.
 
@@ -32,10 +36,23 @@ def load(path):
             data = json.load(fh)
     except (OSError, json.JSONDecodeError) as err:
         sys.exit(f"bench_diff: cannot read {path}: {err}")
+    if not isinstance(data, dict):
+        sys.exit(f"bench_diff: {path}: top-level JSON is "
+                 f"{type(data).__name__}, expected an object")
     scales = data.get("scales")
     if not isinstance(scales, list) or not scales:
         sys.exit(f"bench_diff: {path} has no scales")
-    return {int(s["devices"]): s for s in scales}
+    by_devices = {}
+    for i, s in enumerate(scales):
+        if not isinstance(s, dict) or "devices" not in s:
+            sys.exit(f"bench_diff: {path}: scales[{i}] lacks "
+                     f"a 'devices' key: {s!r}")
+        try:
+            by_devices[int(s["devices"])] = s
+        except (TypeError, ValueError):
+            sys.exit(f"bench_diff: {path}: scales[{i}] has "
+                     f"non-integer devices: {s['devices']!r}")
+    return by_devices
 
 
 def main():
@@ -53,12 +70,20 @@ def main():
         sys.exit("bench_diff: no device scales in common")
 
     failures = []
+    compared = 0
     for devices in common:
         for metric in COMPARED_METRICS:
-            cur = float(current[devices].get(metric, 0.0))
             base = float(baseline[devices].get(metric, 0.0))
             if base <= 0.0:
                 continue  # metric absent or unbudgeted in baseline
+            if metric not in current[devices]:
+                print(f"{devices:>5} devices  {metric:<26} "
+                      f"{base:>10.3f} -> missing         FAIL",
+                      file=sys.stderr)
+                failures.append((devices, metric, "missing"))
+                continue
+            cur = float(current[devices][metric])
+            compared += 1
             ratio = cur / base
             status = "FAIL" if ratio > args.max_ratio else "ok"
             print(f"{devices:>5} devices  {metric:<26} "
@@ -69,9 +94,16 @@ def main():
 
     if failures:
         print(f"\nbench_diff: {len(failures)} metric(s) regressed "
-              f"more than {args.max_ratio}x", file=sys.stderr)
+              f"more than {args.max_ratio}x or went missing",
+              file=sys.stderr)
         return 1
-    print(f"\nbench_diff: OK ({len(common)} scale(s) compared)")
+    if compared == 0:
+        print("\nbench_diff: no metric was actually compared — the "
+              "baseline budgets none of the tracked metrics",
+              file=sys.stderr)
+        return 1
+    print(f"\nbench_diff: OK ({compared} metric(s) across "
+          f"{len(common)} scale(s))")
     return 0
 
 

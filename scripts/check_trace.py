@@ -45,6 +45,9 @@ def main():
     except json.JSONDecodeError as err:
         fail(f"{path} is not valid JSON: {err}")
 
+    if not isinstance(doc, dict):
+        fail(f"{path}: top-level JSON is {type(doc).__name__}, "
+             "expected an object with a traceEvents array")
     events = doc.get("traceEvents")
     if not isinstance(events, list) or not events:
         fail("traceEvents missing or empty")
@@ -53,6 +56,9 @@ def main():
     seen_categories = set()
     last_ts = {}  # (pid, tid) -> last timestamp seen
     for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event #{i} is {type(ev).__name__}, "
+                 f"expected an object: {ev!r}")
         for key in REQUIRED_KEYS:
             if key not in ev:
                 fail(f"event #{i} lacks required key '{key}': {ev}")

@@ -1,0 +1,322 @@
+#include "difftest/lanes.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "comm/collectives.hh"
+#include "planner/lite_routing.hh"
+#include "planner/relocation.hh"
+#include "planner/replica_alloc.hh"
+#include "planner/routing_plan_sparse.hh"
+#include "trace/routing_generator.hh"
+
+namespace laer
+{
+
+namespace
+{
+
+/** Run one serving configuration of the scenario and capture its
+ * checkpoint stream at the scenario's snapshot cadence. */
+LaneRun
+servingRun(const Scenario &scenario, const std::string &label,
+           const ServingConfig &config,
+           const ControlLoopConfig *loop = nullptr)
+{
+    LaneRun run;
+    run.label = label;
+    RunCapture capture = captureServingRun(
+        scenario.makeCluster(), config, scenario.snapshotInterval, loop);
+    run.stream = std::move(capture.stream);
+    run.report = std::move(capture.report);
+    return run;
+}
+
+// ---- threads: 1 worker vs a pool ------------------------------------
+
+class ThreadsLane : public EquivalenceLane
+{
+  public:
+    const char *name() const override { return "threads"; }
+    const char *description() const override
+    {
+        return "serial tuner/pricer vs 4 worker threads; the fan-out "
+               "is reduction-order-stable, so every simulated number "
+               "is bit-identical";
+    }
+    LaneRun runRef(const Scenario &s) const override
+    {
+        ServingConfig cfg = s.serving;
+        cfg.threads = 1;
+        return servingRun(s, "threads=1", cfg);
+    }
+    LaneRun runCandidate(const Scenario &s) const override
+    {
+        ServingConfig cfg = s.serving;
+        cfg.threads = 4;
+        return servingRun(s, "threads=4", cfg);
+    }
+};
+
+// ---- metrics-mode: Exact vs Streaming storage -----------------------
+
+class MetricsModeLane : public EquivalenceLane
+{
+  public:
+    const char *name() const override { return "metrics-mode"; }
+    const char *description() const override
+    {
+        return "Exact vs Streaming metrics sample storage; bounding "
+               "observability memory must not move one counter";
+    }
+    LaneRun runRef(const Scenario &s) const override
+    {
+        ServingConfig cfg = s.serving;
+        cfg.metricsMode = MetricsMemoryMode::Exact;
+        return servingRun(s, "metrics=exact", cfg);
+    }
+    LaneRun runCandidate(const Scenario &s) const override
+    {
+        ServingConfig cfg = s.serving;
+        cfg.metricsMode = MetricsMemoryMode::Streaming;
+        return servingRun(s, "metrics=streaming", cfg);
+    }
+};
+
+// ---- control-none: bare run vs an observe-only loop -----------------
+
+class ControlNoneLane : public EquivalenceLane
+{
+  public:
+    const char *name() const override { return "control-none"; }
+    const char *description() const override
+    {
+        return "ServingSimulator::run() vs a ControlLoop with "
+               "AutoscalerKind::None; observing must not perturb";
+    }
+    DiffOptions diffOptions() const override
+    {
+        DiffOptions options;
+        // Window telemetry exports only the driven side emits.
+        options.ignorePrefixes.push_back("ctrl.");
+        return options;
+    }
+    LaneRun runRef(const Scenario &s) const override
+    {
+        return servingRun(s, "uncontrolled", s.serving);
+    }
+    LaneRun runCandidate(const Scenario &s) const override
+    {
+        ControlLoopConfig loop;
+        loop.interval = s.controlInterval;
+        loop.kind = AutoscalerKind::None;
+        return servingRun(s, "loop=none", s.serving, &loop);
+    }
+};
+
+// ---- swap-recompute: preemption modes on an unpressured pool --------
+
+class SwapRecomputeLane : public EquivalenceLane
+{
+  public:
+    const char *name() const override { return "swap-recompute"; }
+    const char *description() const override
+    {
+        return "Recompute vs Swap preemption on a KV pool sized so "
+               "no preemption ever fires (the regime where the modes "
+               "are defined to be equivalent)";
+    }
+    Scenario prepare(Scenario s) const override
+    {
+        // An ample synthetic pool: byte admission stays enabled (the
+        // KV accounting path runs) but reservations can never reach
+        // the budget, so zero preemptions occur on either side.
+        s.serving.hbmPerDevice = 0;
+        s.serving.batcher.kvBytesPerToken = 1;
+        s.serving.batcher.kvBlockTokens = 16;
+        s.serving.batcher.kvBudgetBytes = Bytes(1) << 40;
+        return s;
+    }
+    LaneRun runRef(const Scenario &s) const override
+    {
+        ServingConfig cfg = s.serving;
+        cfg.batcher.preemptionMode = PreemptionMode::Recompute;
+        return servingRun(s, "preempt=recompute", cfg);
+    }
+    LaneRun runCandidate(const Scenario &s) const override
+    {
+        ServingConfig cfg = s.serving;
+        cfg.batcher.preemptionMode = PreemptionMode::Swap;
+        return servingRun(s, "preempt=swap", cfg);
+    }
+};
+
+// ---- dense-sparse: planner pricing paths ----------------------------
+
+/**
+ * Price one seeded routing sequence step by step, re-laying-out
+ * periodically, and synthesize a checkpoint per step. Both sides
+ * derive layouts from the identical generator stream, so any
+ * divergence is the pricing path itself.
+ */
+LaneRun
+plannerRun(const Scenario &scenario, bool sparse)
+{
+    constexpr int kSteps = 12;
+    constexpr int kRetuneEvery = 4;
+    constexpr Bytes kTokenBytes = 8192;
+
+    const Cluster cluster = scenario.makeCluster();
+    const int experts = scenario.serving.model.numExperts;
+    const int capacity = scenario.serving.capacity;
+
+    RoutingModel model = scenario.serving.routing;
+    model.numDevices = cluster.numDevices();
+    model.numExperts = experts;
+    model.topK = scenario.serving.model.topK;
+    model.tokensPerDevice = 512;
+    model.seed = scenario.serving.seed;
+    RoutingGenerator gen(model);
+
+    LaneRun run;
+    run.label = sparse ? "pricing=sparse" : "pricing=dense";
+
+    ExpertLayout layout;
+    ReplicaIndex index;
+    RoutingPlanSparse plan_sparse;
+    A2aPortLoads loads;
+    for (int step = 0; step < kSteps; ++step) {
+        const RoutingMatrix r = gen.next();
+        if (step % kRetuneEvery == 0) {
+            const std::vector<TokenCount> expert_loads =
+                r.expertLoads();
+            layout = expertRelocation(
+                cluster,
+                replicaAllocation(expert_loads, cluster.numDevices(),
+                                  capacity),
+                expert_loads, capacity);
+            if (sparse)
+                index = ReplicaIndex(cluster, layout);
+        }
+
+        Seconds dispatch_s = 0.0;
+        Seconds combine_s = 0.0;
+        std::vector<TokenCount> recv;
+        if (sparse) {
+            liteRoutingSparse(cluster, r, index, plan_sparse);
+            plan_sparse.portLoads(cluster, kTokenBytes, loads);
+            dispatch_s = a2aBottleneckTimeFromLoads(cluster, loads);
+            combine_s =
+                a2aBottleneckTimeFromLoads(cluster, loads, true);
+            recv = plan_sparse.receivedTokens();
+        } else {
+            const RoutingPlan plan = liteRouting(cluster, r, layout);
+            const VolumeMatrix vol = plan.dispatchVolume(kTokenBytes);
+            VolumeMatrix combine = zeroVolume(plan.numDevices());
+            for (std::size_t i = 0; i < vol.size(); ++i)
+                for (std::size_t k = 0; k < vol.size(); ++k)
+                    combine[k][i] = vol[i][k];
+            dispatch_s = a2aBottleneckTime(cluster, vol);
+            combine_s = a2aBottleneckTime(cluster, combine);
+            recv = plan.receivedTokens();
+        }
+
+        TokenCount recv_total = 0;
+        TokenCount recv_max = 0;
+        double recv_weighted = 0.0; // catches permuted destinations
+        for (std::size_t d = 0; d < recv.size(); ++d) {
+            recv_total += recv[d];
+            recv_max = std::max(recv_max, recv[d]);
+            recv_weighted +=
+                static_cast<double>(recv[d]) * double(d + 1);
+        }
+
+        CounterSnapshot snap;
+        snap.simTime = static_cast<Seconds>(step);
+        snap.values = {
+            {"planner.dispatch_s", dispatch_s},
+            {"planner.combine_s", combine_s},
+            {"planner.recv_total", static_cast<double>(recv_total)},
+            {"planner.recv_max", static_cast<double>(recv_max)},
+            {"planner.recv_weighted", recv_weighted},
+        };
+        run.stream.snapshots.push_back(std::move(snap));
+    }
+    return run;
+}
+
+class DenseSparseLane : public EquivalenceLane
+{
+  public:
+    const char *name() const override { return "dense-sparse"; }
+    const char *description() const override
+    {
+        return "dense liteRouting + VolumeMatrix pricing vs the "
+               "sparse CSR plan + port-load pricing over a seeded "
+               "routing sequence with periodic re-layouts";
+    }
+    bool checksInvariants() const override { return false; }
+    LaneRun runRef(const Scenario &s) const override
+    {
+        return plannerRun(s, /*sparse=*/false);
+    }
+    LaneRun runCandidate(const Scenario &s) const override
+    {
+        return plannerRun(s, /*sparse=*/true);
+    }
+};
+
+} // namespace
+
+const std::vector<const EquivalenceLane *> &
+equivalenceLanes()
+{
+    static const ThreadsLane threads;
+    static const MetricsModeLane metrics_mode;
+    static const ControlNoneLane control_none;
+    static const SwapRecomputeLane swap_recompute;
+    static const DenseSparseLane dense_sparse;
+    static const std::vector<const EquivalenceLane *> lanes = {
+        &threads, &metrics_mode, &control_none, &swap_recompute,
+        &dense_sparse,
+    };
+    return lanes;
+}
+
+const EquivalenceLane *
+laneByName(const std::string &name)
+{
+    for (const EquivalenceLane *lane : equivalenceLanes())
+        if (name == lane->name())
+            return lane;
+    return nullptr;
+}
+
+LaneOutcome
+runLane(const EquivalenceLane &lane, const Scenario &scenario)
+{
+    LaneOutcome outcome;
+    outcome.lane = lane.name();
+    outcome.scenario = lane.prepare(scenario);
+
+    const LaneRun ref = lane.runRef(outcome.scenario);
+    const LaneRun cand = lane.runCandidate(outcome.scenario);
+
+    outcome.diff =
+        diffStreams(ref.stream, cand.stream, lane.diffOptions());
+    outcome.diff.refLabel = ref.label;
+    outcome.diff.candLabel = cand.label;
+
+    if (lane.checksInvariants()) {
+        InvariantContext context;
+        context.totalDevices =
+            outcome.scenario.nodes * outcome.scenario.devicesPerNode;
+        outcome.refViolations =
+            checkStreamInvariants(ref.stream, context);
+        outcome.candViolations =
+            checkStreamInvariants(cand.stream, context);
+    }
+    return outcome;
+}
+
+} // namespace laer

@@ -594,17 +594,26 @@ ServingSimulator::updateRegistryGauges()
     if (reg == nullptr)
         return;
     std::int64_t admissions = admissionsBase_;
+    int retunes = retiredRetunes_;
     int waiting = 0;
     int running = 0;
     double kv_util = 0.0;
+    Bytes kv_reserved = 0;
+    Bytes kv_budget = 0;
     for (const auto &engine : engines_) {
         admissions += engine->batcher().totalAdmissions();
+        retunes += engine->retunes();
         waiting += engine->batcher().waitingCount();
         running += engine->batcher().runningCount();
+        kv_reserved += engine->batcher().kvReservedBytes();
+        kv_budget += engine->batcher().kvBudgetBytes();
         if (engine->batcher().kvEnabled())
             kv_util = std::max(kv_util,
                                engine->batcher().kvUtilization());
     }
+    std::int64_t held = 0;
+    for (const std::vector<Request> &h : pending_.held)
+        held += static_cast<std::int64_t>(h.size());
     // Counters come from the simulator's authoritative totals via
     // set(), so engine rebuilds (replica spin-up, split) never lose
     // counts.
@@ -619,11 +628,29 @@ ServingSimulator::updateRegistryGauges()
         .set(static_cast<std::int64_t>(steps_.size()));
     reg->counter("serve.migrated").set(migrated_);
     reg->counter("serve.kv_transfer_bytes").set(kvTransferBytes_);
+    reg->counter("planner.retunes").set(retunes);
     reg->gauge("serve.active_replicas").set(activeReplicas());
     reg->gauge("serve.queue_depth").set(waiting);
     reg->gauge("serve.running").set(running);
+    // Requests parked between pools: contexts in flight to the decode
+    // pool, and sequences held while a split re-partitions. Together
+    // with queue_depth/running these close the request-conservation
+    // identity the difftest probe layer checks:
+    //   offered == completed + queue_depth + running + migrating + held
+    reg->gauge("serve.migrating")
+        .set(static_cast<double>(migrations_.size()));
+    reg->gauge("serve.held").set(static_cast<double>(held));
     reg->gauge("serve.kv_utilization").set(kv_util);
+    reg->gauge("serve.kv_reserved_bytes")
+        .set(static_cast<double>(kv_reserved));
+    reg->gauge("serve.kv_budget_bytes")
+        .set(static_cast<double>(kv_budget));
     reg->gauge("serve.device_seconds").set(deviceSecondsSoFar());
+    // The simulated clock the gauges were read at. Snapshots crossed
+    // by a long event jump are stamped with their boundary time, which
+    // can trail this clock — bounds like device_seconds <= N * t must
+    // be checked against sim_now, not the stamp.
+    reg->gauge("serve.sim_now").set(now_);
 }
 
 void
@@ -647,8 +674,9 @@ ServingSimulator::retireEngineCounters(std::size_t i)
 {
     emitRetuneSpans(i);
     admissionsBase_ += engines_[i]->batcher().totalAdmissions();
+    retiredRetunes_ += engines_[i]->retunes();
     for (const RetuneWallSample &sample : engines_[i]->retuneWall())
-        retiredRetuneMs_ += sample.wallMs;
+        retiredRetuneWall_.push_back(sample);
     retuneSeen_[i] = 0;
     drainStart_[i] = -1.0;
 }
@@ -1069,7 +1097,9 @@ ServingSimulator::finish()
     if (config_.metricsRegistry != nullptr) {
         updateRegistryGauges();
         if (config_.selfProfile) {
-            double retune_ms = retiredRetuneMs_;
+            double retune_ms = 0.0;
+            for (const RetuneWallSample &s : retiredRetuneWall_)
+                retune_ms += s.wallMs;
             for (const auto &engine : engines_)
                 for (const RetuneWallSample &s : engine->retuneWall())
                     retune_ms += s.wallMs;
@@ -1096,6 +1126,10 @@ ServingSimulator::buildReport() const
     report.completed = metrics_.completed();
     report.sloMet = metrics_.sloMet();
     report.steps = static_cast<int>(steps_.size());
+    // Rebuilt engines (replica spin-up, split re-partition) retire
+    // their monotone counters into the carry-over fields; summing only
+    // the live engines would silently drop them.
+    report.retunes = retiredRetunes_;
     for (const auto &engine : engines_)
         report.retunes += engine->retunes();
     report.elapsed = now_;
@@ -1141,17 +1175,19 @@ ServingSimulator::buildReport() const
         pool.peakKvUtilization = poolStats_[i].kvUtil.max();
         report.pools.push_back(pool);
     }
-    // Planner wall-time accounting: every engine's retune samples, in
-    // engine order (sample times are simulated; wall times are real).
+    // Planner wall-time accounting: every engine's retune samples —
+    // retired engines' first, then the live ones in engine order
+    // (sample times are simulated; wall times are real).
     report.tunerBudgetMs = config_.tunerBudgetMs;
-    for (const auto &engine : engines_) {
-        for (const RetuneWallSample &sample : engine->retuneWall()) {
+    report.retuneWall = retiredRetuneWall_;
+    for (const auto &engine : engines_)
+        for (const RetuneWallSample &sample : engine->retuneWall())
             report.retuneWall.push_back(sample);
-            report.retuneWallMaxMs =
-                std::max(report.retuneWallMaxMs, sample.wallMs);
-            if (sample.overBudget)
-                ++report.retuneBudgetOverruns;
-        }
+    for (const RetuneWallSample &sample : report.retuneWall) {
+        report.retuneWallMaxMs =
+            std::max(report.retuneWallMaxMs, sample.wallMs);
+        if (sample.overBudget)
+            ++report.retuneBudgetOverruns;
     }
     if (!report.retuneWall.empty()) {
         double total = 0.0;
@@ -1170,7 +1206,7 @@ ServingSimulator::buildReport() const
     report.windows = windows_;
 
     if (config_.selfProfile) {
-        double retune_ms = retiredRetuneMs_;
+        double retune_ms = 0.0;
         for (const RetuneWallSample &sample : report.retuneWall)
             retune_ms += sample.wallMs;
         report.profRetuneMs = retune_ms;

@@ -549,8 +549,9 @@ class ServingSimulator
     std::vector<Seconds> drainStart_;     //!< beginDrain time, or < 0
     Seconds nextSnapshot_ = 0.0;          //!< next periodic boundary
     std::int64_t admissionsBase_ = 0;     //!< from rebuilt engines
-    double retiredRetuneMs_ = 0.0;        //!< solver wall, rebuilt
-                                          //!< engines
+    int retiredRetunes_ = 0;              //!< retunes, rebuilt engines
+    std::vector<RetuneWallSample> retiredRetuneWall_; //!< wall samples
+                                          //!< of rebuilt engines
     // Self-profiling accumulators (real milliseconds).
     double profExecMs_ = 0.0; //!< wall inside executeStep()
     double profStepMs_ = 0.0; //!< wall inside step()

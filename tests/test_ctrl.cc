@@ -14,7 +14,9 @@
 #include <gtest/gtest.h>
 
 #include "core/error.hh"
+#include "core/rng.hh"
 #include "ctrl/control_loop.hh"
+#include "difftest/probe.hh"
 #include "planner/replica_alloc.hh"
 #include "serve/serving_sim.hh"
 #include "topo/cluster.hh"
@@ -583,6 +585,99 @@ TEST(ControlLoop, ConstantRateNeverOscillates)
     EXPECT_FALSE(report.windows.empty());
     for (const ControlWindowSample &w : report.windows)
         EXPECT_GE(w.activeReplicas, 1);
+}
+
+// ---- fuzzed scaling storms -------------------------------------------------
+
+/** Run `sim` to a boundary, then fire a random reconfiguration from
+ * `decide` when none is pending. Returns false once the run ended. */
+template <typename Decide>
+bool
+stormWindow(ServingSimulator &sim, Seconds boundary, Decide decide)
+{
+    bool alive = true;
+    while (sim.now() < boundary && (alive = sim.step())) {
+    }
+    if (alive && !sim.reconfigPending())
+        decide();
+    return alive;
+}
+
+/** Assert the conservation invariants on a finished storm run. */
+void
+expectStormConserves(const MetricsRegistry &registry,
+                     const ServingReport &report, int total_devices)
+{
+    EXPECT_EQ(report.completed, report.offered);
+    // The storm must actually storm.
+    EXPECT_GE(report.scalingEvents.size(), 3u);
+    SnapshotStream stream;
+    stream.snapshots = registry.snapshots();
+    ASSERT_GT(stream.size(), 10u);
+    InvariantContext context;
+    context.totalDevices = total_devices;
+    const auto violations = checkStreamInvariants(stream, context);
+    EXPECT_TRUE(violations.empty())
+        << violations.size() << " violation(s), first: "
+        << violations.front();
+}
+
+TEST(ScalingStorm, RandomReplicaDecisionsConserveEveryTransition)
+{
+    const Cluster cluster(2, 4, 300e9, 12.5e9, 212e12);
+    ServingConfig cfg = replicaConfig(30.0, 1);
+    cfg.horizon = 7.0;
+    MetricsRegistry registry;
+    cfg.metricsRegistry = &registry;
+    cfg.snapshotInterval = 0.1;
+    ServingSimulator sim(cluster, cfg);
+
+    // 50 windows of random up/down targets; requests landing while a
+    // reconfiguration drains are skipped, like a real control loop.
+    Rng rng(0xC0FFEE);
+    for (int w = 1; w <= 50; ++w)
+        if (!stormWindow(sim, 0.13 * w, [&] {
+                sim.requestReplicas(
+                    1 + rng.uniformInt(0, sim.replicaSlots() - 1));
+            }))
+            break;
+    while (sim.step()) {
+    }
+    const ServingReport report = sim.finish();
+    expectStormConserves(registry, report, cluster.numDevices());
+}
+
+TEST(ScalingStorm, RandomSplitDecisionsConserveEveryTransition)
+{
+    const Cluster cluster(4, 2, 300e9, 12.5e9, 212e12);
+    ServingConfig cfg = splitConfig(14.0);
+    cfg.horizon = 6.0;
+    MetricsRegistry registry;
+    cfg.metricsRegistry = &registry;
+    cfg.snapshotInterval = 0.1;
+    ServingSimulator sim(cluster, cfg);
+
+    // Random node-regular prefill/decode splits; infeasible or
+    // already-current targets are rejected by the simulator itself.
+    Rng rng(0xBADCAB);
+    const int floor_dev = sim.minPoolDevices();
+    for (int w = 1; w <= 50; ++w)
+        if (!stormWindow(sim, 0.12 * w, [&] {
+                const int max_units =
+                    (cluster.numDevices() - floor_dev) /
+                    cluster.devicesPerNode();
+                const int min_units = (floor_dev +
+                                       cluster.devicesPerNode() - 1) /
+                                      cluster.devicesPerNode();
+                const int units =
+                    rng.uniformInt(min_units, max_units);
+                sim.requestSplit(units * cluster.devicesPerNode());
+            }))
+            break;
+    while (sim.step()) {
+    }
+    const ServingReport report = sim.finish();
+    expectStormConserves(registry, report, cluster.numDevices());
 }
 
 } // namespace

@@ -9,6 +9,7 @@
 
 #include "core/error.hh"
 #include "core/rng.hh"
+#include "difftest/diff.hh"
 #include "planner/lite_routing.hh"
 #include "planner/relocation.hh"
 #include "planner/replica_alloc.hh"
@@ -169,6 +170,12 @@ TEST_P(ScorerEquivalence, MatchesDensePlanOnRandomLayouts)
     params.commBytesPerToken = 4096;
     params.compFlopsPerToken = 2.5e8;
 
+    // Equivalence through the diff harness: per seed, one exact
+    // checkpoint (integer recv sums, comp term) and one tolerant
+    // checkpoint (comm term, whose summation order differs between
+    // the formulations) on each side.
+    SnapshotStream dense_exact, scorer_exact;
+    SnapshotStream dense_close, scorer_close;
     for (std::uint64_t seed = 1; seed <= 10; ++seed) {
         Rng rng(seed);
         RoutingMatrix r(n, e);
@@ -191,20 +198,49 @@ TEST_P(ScorerEquivalence, MatchesDensePlanOnRandomLayouts)
             fast ? scoreLiteRoutingFast(c, r, layout, params)
                  : scoreLiteRouting(c, r, layout, params);
 
-        // recv sums are exact integers in both formulations.
-        EXPECT_EQ(score.recv, plan.receivedTokens())
-            << "seed " << seed;
-        // Pair cost: mathematically identical; the fast scorer sums
-        // in a different (tighter) order, so compare to relative
-        // tolerance. The exact scorer preserves summation order but
-        // timeCost folds tokens per (i, k) pair before dividing, so
-        // it too is only equal to rounding.
-        EXPECT_NEAR(score.cost.comm, dense.comm,
-                    1e-9 * std::max(1e-30, dense.comm))
-            << "seed " << seed;
-        EXPECT_DOUBLE_EQ(score.cost.comp, dense.comp)
-            << "seed " << seed;
+        const auto recvCounters =
+            [](const std::vector<TokenCount> &recv) {
+                double total = 0.0, weighted = 0.0;
+                for (std::size_t d = 0; d < recv.size(); ++d) {
+                    total += static_cast<double>(recv[d]);
+                    weighted +=
+                        static_cast<double>(recv[d]) * double(d + 1);
+                }
+                return std::vector<std::pair<std::string, double>>{
+                    {"recv_total", total},
+                    {"recv_weighted", weighted}};
+            };
+
+        CounterSnapshot de, se;
+        de.simTime = se.simTime = static_cast<Seconds>(seed);
+        // recv sums are exact integers in both formulations, and the
+        // comp term preserves summation order.
+        de.values = recvCounters(plan.receivedTokens());
+        de.values.push_back({"comp", dense.comp});
+        se.values = recvCounters(score.recv);
+        se.values.push_back({"comp", score.cost.comp});
+        dense_exact.snapshots.push_back(de);
+        scorer_exact.snapshots.push_back(se);
+
+        // The fast scorer sums the comm term in a different
+        // (tighter) order; timeCost folds tokens per (i, k) pair
+        // before dividing — mathematically identical, equal only to
+        // rounding.
+        CounterSnapshot dc, sc;
+        dc.simTime = sc.simTime = static_cast<Seconds>(seed);
+        dc.values = {{"comm", dense.comm}};
+        sc.values = {{"comm", score.cost.comm}};
+        dense_close.snapshots.push_back(dc);
+        scorer_close.snapshots.push_back(sc);
     }
+
+    const DiffReport exact = diffStreams(dense_exact, scorer_exact);
+    EXPECT_TRUE(exact.identical()) << exact.toText();
+    DiffOptions tolerant;
+    tolerant.relTol = 1e-9;
+    const DiffReport close =
+        diffStreams(dense_close, scorer_close, tolerant);
+    EXPECT_TRUE(close.identical()) << close.toText();
 }
 
 INSTANTIATE_TEST_SUITE_P(ExactAndFast, ScorerEquivalence,

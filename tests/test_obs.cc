@@ -20,6 +20,7 @@
 #include "core/error.hh"
 #include "core/rng.hh"
 #include "core/stats.hh"
+#include "difftest/diff.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "serve/serving_sim.hh"
@@ -247,22 +248,32 @@ e2eConfig(MetricsMemoryMode mode)
 TEST(ServingMetricsModes, StreamingNeverChangesCountersAndTracksP95)
 {
     const Cluster cluster(2, 4, 300e9, 12.5e9, 212e12);
-    ServingSimulator exact(cluster,
-                           e2eConfig(MetricsMemoryMode::Exact));
+    MetricsRegistry exact_registry, streaming_registry;
+    ServingConfig exact_cfg = e2eConfig(MetricsMemoryMode::Exact);
+    exact_cfg.metricsRegistry = &exact_registry;
+    exact_cfg.snapshotInterval = 0.25;
+    ServingSimulator exact(cluster, exact_cfg);
     const ServingReport re = exact.run();
-    ServingSimulator streaming(cluster,
-                               e2eConfig(MetricsMemoryMode::Streaming));
+    ServingConfig streaming_cfg =
+        e2eConfig(MetricsMemoryMode::Streaming);
+    streaming_cfg.metricsRegistry = &streaming_registry;
+    streaming_cfg.snapshotInterval = 0.25;
+    ServingSimulator streaming(cluster, streaming_cfg);
     const ServingReport rs = streaming.run();
     ASSERT_GT(re.completed, 50);
 
-    // The memory mode is a reporting choice: admissions, completions
-    // and every goodput counter must be bit-identical.
+    // The memory mode is a reporting choice: every simulated counter
+    // must be bit-identical at every checkpoint, not just at the end
+    // of the run. The diff harness names the first divergence.
+    SnapshotStream exact_stream, streaming_stream;
+    exact_stream.snapshots = exact_registry.snapshots();
+    streaming_stream.snapshots = streaming_registry.snapshots();
+    ASSERT_GT(exact_stream.size(), 10u);
+    const DiffReport diff =
+        diffStreams(exact_stream, streaming_stream);
+    EXPECT_TRUE(diff.identical()) << diff.toText();
     EXPECT_EQ(rs.offered, re.offered);
     EXPECT_EQ(rs.completed, re.completed);
-    EXPECT_EQ(rs.sloMet, re.sloMet);
-    EXPECT_EQ(rs.steps, re.steps);
-    EXPECT_EQ(rs.preemptions, re.preemptions);
-    EXPECT_DOUBLE_EQ(rs.throughputTps, re.throughputTps);
     EXPECT_DOUBLE_EQ(rs.goodputTps, re.goodputTps);
     EXPECT_DOUBLE_EQ(rs.elapsed, re.elapsed);
 

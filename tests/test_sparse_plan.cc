@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "core/rng.hh"
+#include "difftest/diff.hh"
 #include "planner/lite_routing.hh"
 #include "planner/relocation.hh"
 #include "planner/replica_alloc.hh"
@@ -107,6 +108,10 @@ TEST(RoutingPlanSparse, PortLoadPricingIsBitIdenticalToDense)
 {
     const Cluster c = cluster24();
     const Bytes token_bytes = 8192;
+    // Bit-identity through the diff harness: one checkpoint per seed
+    // on each side; a regression reports the first diverging seed and
+    // quantity instead of a bare EXPECT_EQ failure.
+    SnapshotStream dense_stream, sparse_stream;
     for (std::uint64_t seed = 1; seed <= 8; ++seed) {
         const ExpertLayout layout =
             randomFeasibleLayout(c, 8, 2, seed);
@@ -126,14 +131,28 @@ TEST(RoutingPlanSparse, PortLoadPricingIsBitIdenticalToDense)
         A2aPortLoads loads;
         sparse.portLoads(c, token_bytes, loads);
 
-        // Bit-identical, not just close: the fold is exact integer
-        // arithmetic on both sides.
-        EXPECT_EQ(a2aBottleneckTime(c, vol),
-                  a2aBottleneckTimeFromLoads(c, loads));
-        EXPECT_EQ(a2aBottleneckTime(c, combine),
-                  a2aBottleneckTimeFromLoads(c, loads, true));
+        CounterSnapshot ds, ss;
+        ds.simTime = ss.simTime = static_cast<Seconds>(seed);
+        ds.values = {
+            {"dispatch_s", a2aBottleneckTime(c, vol)},
+            {"combine_s", a2aBottleneckTime(c, combine)},
+        };
+        ss.values = {
+            {"dispatch_s", a2aBottleneckTimeFromLoads(c, loads)},
+            {"combine_s",
+             a2aBottleneckTimeFromLoads(c, loads, true)},
+        };
+        dense_stream.snapshots.push_back(ds);
+        sparse_stream.snapshots.push_back(ss);
+
         EXPECT_EQ(sparse.dispatchVolume(token_bytes), vol);
     }
+    // Exact comparison (relTol 0): the fold is exact integer
+    // arithmetic on both sides, so every priced time must be
+    // bit-identical, not just close.
+    const DiffReport report =
+        diffStreams(dense_stream, sparse_stream);
+    EXPECT_TRUE(report.identical()) << report.toText();
 }
 
 TEST(RoutingPlanSparse, EmptyRowsAndRankOrderDiscipline)
