@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
-"""Compare a BENCH_tab04.json run against the committed baseline.
+"""Compare a bench JSON run against its committed baseline.
 
 Usage:
-    bench_diff.py CURRENT BASELINE [--max-ratio R]
+    bench_diff.py CURRENT BASELINE [--max-ratio R] [--metrics A,B,...]
 
 Fails (exit 1) when:
   * either file is missing, empty, or not the expected shape;
@@ -14,9 +14,11 @@ Fails (exit 1) when:
   * any compared wall-time metric regresses by more than R (default
     2.0) at a scale present in both files.
 
-Only the sparse/parallel hot-path metrics are compared — the dense
-arms exist to document the gap, and CI machines differ enough that
-absolute dense wall times are noise. Speedups going *up* never fail.
+The default metric set is the tab05/BENCH_tab04 sparse/parallel
+hot path — the dense arms exist to document the gap, and CI machines
+differ enough that absolute dense wall times are noise. Other bench
+files (e.g. BENCH_fig15.json) pass their own lower-is-better metric
+names via --metrics. Speedups going *up* never fail.
 """
 
 import argparse
@@ -61,7 +63,16 @@ def main():
     parser.add_argument("baseline")
     parser.add_argument("--max-ratio", type=float, default=2.0,
                         help="fail when current > ratio * baseline")
+    parser.add_argument("--metrics", default=None,
+                        help="comma-separated lower-is-better metric "
+                             "names (default: the tab05 hot path)")
     args = parser.parse_args()
+
+    metrics = COMPARED_METRICS
+    if args.metrics is not None:
+        metrics = tuple(m for m in args.metrics.split(",") if m)
+        if not metrics:
+            sys.exit("bench_diff: --metrics names no metric")
 
     current = load(args.current)
     baseline = load(args.baseline)
@@ -72,7 +83,7 @@ def main():
     failures = []
     compared = 0
     for devices in common:
-        for metric in COMPARED_METRICS:
+        for metric in metrics:
             base = float(baseline[devices].get(metric, 0.0))
             if base <= 0.0:
                 continue  # metric absent or unbudgeted in baseline

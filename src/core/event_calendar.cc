@@ -1,0 +1,182 @@
+#include "core/event_calendar.hh"
+
+#include <limits>
+
+#include "core/error.hh"
+
+namespace laer
+{
+
+EventCalendar::Handle
+EventCalendar::makeHandle(int key)
+{
+    Handle handle;
+    if (!freeSlots_.empty()) {
+        handle = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        handle = static_cast<Handle>(slots_.size());
+        slots_.emplace_back();
+    }
+    Slot &slot = slots_[handle];
+    // The version survives reuse so entries of the slot's previous
+    // owner stay dead.
+    slot.key = key;
+    slot.liveEntry = false;
+    slot.allocated = true;
+    return handle;
+}
+
+void
+EventCalendar::releaseHandle(Handle handle)
+{
+    LAER_ASSERT(handle < slots_.size() && slots_[handle].allocated,
+                "releasing an unallocated calendar handle");
+    cancel(handle);
+    slots_[handle].allocated = false;
+    freeSlots_.push_back(handle);
+}
+
+void
+EventCalendar::schedule(Handle handle, Seconds time)
+{
+    LAER_ASSERT(handle < slots_.size() && slots_[handle].allocated,
+                "scheduling an unallocated calendar handle");
+    Slot &slot = slots_[handle];
+    if (slot.liveEntry)
+        --live_; // the previous entry dies below
+    ++slot.version;
+    slot.liveEntry = true;
+    slot.time = time;
+    ++live_;
+
+    HeapEntry entry;
+    entry.time = time;
+    entry.key = slot.key;
+    entry.seq = nextSeq_++;
+    entry.handle = handle;
+    entry.version = slot.version;
+    heap_.push_back(entry);
+    siftUp(heap_.size() - 1);
+}
+
+void
+EventCalendar::cancel(Handle handle)
+{
+    LAER_ASSERT(handle < slots_.size() && slots_[handle].allocated,
+                "cancelling an unallocated calendar handle");
+    Slot &slot = slots_[handle];
+    if (!slot.liveEntry)
+        return;
+    ++slot.version; // the heap entry is now stale
+    slot.liveEntry = false;
+    --live_;
+}
+
+bool
+EventCalendar::scheduled(Handle handle) const
+{
+    LAER_ASSERT(handle < slots_.size() && slots_[handle].allocated,
+                "querying an unallocated calendar handle");
+    return slots_[handle].liveEntry;
+}
+
+Seconds
+EventCalendar::timeOf(Handle handle) const
+{
+    LAER_ASSERT(scheduled(handle),
+                "timeOf() on an unscheduled calendar handle");
+    return slots_[handle].time;
+}
+
+bool
+EventCalendar::liveEntry(const HeapEntry &entry) const
+{
+    const Slot &slot = slots_[entry.handle];
+    return slot.allocated && slot.liveEntry &&
+           slot.version == entry.version;
+}
+
+bool
+EventCalendar::later(const HeapEntry &a, const HeapEntry &b)
+{
+    if (a.time != b.time)
+        return a.time > b.time;
+    if (a.key != b.key)
+        return a.key > b.key;
+    return a.seq > b.seq;
+}
+
+void
+EventCalendar::siftUp(std::size_t i)
+{
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!later(heap_[parent], heap_[i]))
+            return;
+        std::swap(heap_[parent], heap_[i]);
+        i = parent;
+    }
+}
+
+void
+EventCalendar::siftDown(std::size_t i)
+{
+    const std::size_t n = heap_.size();
+    for (;;) {
+        const std::size_t left = 2 * i + 1;
+        const std::size_t right = left + 1;
+        std::size_t least = i;
+        if (left < n && later(heap_[least], heap_[left]))
+            least = left;
+        if (right < n && later(heap_[least], heap_[right]))
+            least = right;
+        if (least == i)
+            return;
+        std::swap(heap_[i], heap_[least]);
+        i = least;
+    }
+}
+
+void
+EventCalendar::settle()
+{
+    while (!heap_.empty() && !liveEntry(heap_.front())) {
+        heap_.front() = heap_.back();
+        heap_.pop_back();
+        if (!heap_.empty())
+            siftDown(0);
+    }
+}
+
+Seconds
+EventCalendar::peekTime()
+{
+    settle();
+    if (heap_.empty())
+        return std::numeric_limits<Seconds>::infinity();
+    return heap_.front().time;
+}
+
+EventCalendar::Event
+EventCalendar::pop()
+{
+    settle();
+    LAER_ASSERT(!heap_.empty(), "pop() on an empty event calendar");
+    const HeapEntry top = heap_.front();
+    Event event;
+    event.time = top.time;
+    event.key = top.key;
+    event.handle = top.handle;
+    Slot &slot = slots_[top.handle];
+    ++slot.version;
+    slot.liveEntry = false;
+    --live_;
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty())
+        siftDown(0);
+    return event;
+}
+
+} // namespace laer

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * EventCalendar — indexed priority structure of the serving DES core.
+ *
+ * A binary min-heap over (time, key) with stable handles and lazy
+ * deletion, built for the event population the serving simulator
+ * maintains: one wake entry per engine plus a handful of singleton
+ * streams (next arrival, migration front). The owner holds one
+ * `Handle` per logical event source and calls schedule()/cancel() as
+ * the source's next event time changes; peeking or popping the
+ * earliest live entry is O(log n) amortized instead of the O(sources)
+ * scan the simulator used to run per event (`nextEventTime()`,
+ * ROADMAP open item 1).
+ *
+ * Lazy deletion: schedule() and cancel() never search the heap — they
+ * bump the handle's version and (for schedule) push a fresh entry;
+ * stale entries are discarded when they surface at the top. The heap
+ * therefore holds at most one *live* entry per handle but possibly
+ * several dead ones; compaction is automatic because every dead entry
+ * is dropped the first time it is popped.
+ *
+ * Determinism: ties on time break by ascending key, then by schedule
+ * order (monotone sequence number), so the pop order of simultaneous
+ * events is a pure function of the schedule() call sequence — the
+ * property the serial/parallel equivalence lanes rest on.
+ */
+
+#ifndef LAER_CORE_EVENT_CALENDAR_HH
+#define LAER_CORE_EVENT_CALENDAR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hh"
+
+namespace laer
+{
+
+/**
+ * Min-heap event calendar with lazy-deletion handles. Handles are
+ * allocated once per event source (makeHandle) and reused for the
+ * source's lifetime; each carries at most one live scheduled time.
+ */
+class EventCalendar
+{
+  public:
+    /** Stable identifier of one event source. */
+    using Handle = std::uint32_t;
+
+    /** Sentinel: no handle. */
+    static constexpr Handle kInvalidHandle = ~Handle(0);
+
+    /**
+     * Allocate a handle for an event source.
+     * @param key  Caller-defined ordinal (e.g. engine index) used to
+     *             break time ties deterministically; lower pops first.
+     * @return the new handle, initially unscheduled.
+     */
+    Handle makeHandle(int key);
+
+    /** Release a handle (cancels any live entry). The slot may be
+     * reused by a later makeHandle(). */
+    void releaseHandle(Handle handle);
+
+    /**
+     * Set the handle's next event time, replacing any live entry.
+     * @param handle  From makeHandle().
+     * @param time    Event time; any finite value is legal.
+     */
+    void schedule(Handle handle, Seconds time);
+
+    /** Remove the handle's live entry, if any. O(1). */
+    void cancel(Handle handle);
+
+    /** True when the handle currently has a live entry. */
+    bool scheduled(Handle handle) const;
+
+    /** The handle's live event time; only valid when scheduled(). */
+    Seconds timeOf(Handle handle) const;
+
+    /** Number of live entries. */
+    std::size_t size() const { return live_; }
+
+    /** True when no live entry exists. */
+    bool empty() const { return live_ == 0; }
+
+    /** Earliest live event time; +infinity when empty. Discards any
+     * stale entries that surface while peeking. */
+    Seconds peekTime();
+
+    /** One popped event. */
+    struct Event
+    {
+        Seconds time = 0.0;
+        int key = 0;
+        Handle handle = kInvalidHandle;
+    };
+
+    /**
+     * Pop the earliest live event (ties: lowest key, then earliest
+     * schedule order). The handle stays allocated but becomes
+     * unscheduled. Must not be called on an empty calendar.
+     */
+    Event pop();
+
+  private:
+    struct HeapEntry
+    {
+        Seconds time = 0.0;
+        int key = 0;
+        std::uint64_t seq = 0;     //!< schedule order, tie-breaker
+        Handle handle = kInvalidHandle;
+        std::uint32_t version = 0; //!< slot version at schedule time
+    };
+
+    struct Slot
+    {
+        int key = 0;
+        std::uint32_t version = 0; //!< bumped on schedule/cancel
+        bool liveEntry = false;    //!< a heap entry matches `version`
+        bool allocated = false;
+        Seconds time = 0.0;        //!< live entry's time
+    };
+
+    /** True when the heap entry is the slot's current live entry. */
+    bool liveEntry(const HeapEntry &entry) const;
+
+    /** Min-heap order: (time, key, seq) ascending. */
+    static bool later(const HeapEntry &a, const HeapEntry &b);
+
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+
+    /** Drop dead entries off the top of the heap. */
+    void settle();
+
+    std::vector<HeapEntry> heap_;
+    std::vector<Slot> slots_;
+    std::vector<Handle> freeSlots_;
+    std::size_t live_ = 0;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace laer
+
+#endif // LAER_CORE_EVENT_CALENDAR_HH

@@ -118,11 +118,17 @@ ServingReport
 ControlLoop::run()
 {
     Seconds boundary = config_.interval;
+    // The barrier keeps the windowed event core from advancing past a
+    // decision boundary before the loop has decided; the default
+    // per-event core ignores it (its clock lands on events, and the
+    // loop reads now() after each).
+    sim_.setBarrier(boundary);
     while (sim_.step()) {
         while (sim_.now() >= boundary) {
             closeWindow(boundary);
             boundary += config_.interval;
         }
+        sim_.setBarrier(boundary);
     }
     // Close the trailing partial window so short runs still get a
     // series (the collector requires positive length).

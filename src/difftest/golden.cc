@@ -1,0 +1,242 @@
+#include "difftest/golden.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "core/error.hh"
+#include "model/config.hh"
+
+namespace laer
+{
+
+namespace
+{
+
+/** %.17g: the shortest printf format that round-trips every
+ * binary64 through strtod bit-exactly. */
+void
+writeDouble(std::ostream &os, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    os << buf;
+}
+
+void
+writeString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << c;
+    }
+    os << '"';
+}
+
+/** Cursor over the golden grammar; every helper skips leading
+ * whitespace and reports the byte offset on a mismatch. */
+class Cursor
+{
+  public:
+    explicit Cursor(std::istream &is)
+    {
+        std::string chunk;
+        while (std::getline(is, chunk)) {
+            text_ += chunk;
+            text_ += '\n';
+        }
+    }
+
+    void expect(char c)
+    {
+        skipWs();
+        LAER_CHECK(pos_ < text_.size() && text_[pos_] == c,
+                   "golden parse: expected '"
+                       << c << "' at byte " << pos_);
+        ++pos_;
+    }
+
+    bool accept(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void expectKey(const std::string &key)
+    {
+        const std::string got = parseString();
+        LAER_CHECK(got == key, "golden parse: expected key \""
+                                   << key << "\", got \"" << got
+                                   << "\" ending at byte " << pos_);
+        expect(':');
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                LAER_CHECK(pos_ < text_.size(),
+                           "golden parse: dangling escape at byte "
+                               << pos_);
+                c = text_[pos_++];
+            }
+            out += c;
+        }
+        expect('"');
+        return out;
+    }
+
+    double parseDouble()
+    {
+        skipWs();
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        const double v = std::strtod(start, &end);
+        LAER_CHECK(end != start,
+                   "golden parse: expected a number at byte " << pos_);
+        pos_ += static_cast<std::size_t>(end - start);
+        return v;
+    }
+
+    void expectEnd()
+    {
+        skipWs();
+        LAER_CHECK(pos_ == text_.size(),
+                   "golden parse: trailing content at byte " << pos_);
+    }
+
+  private:
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    std::string text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Scenario
+goldenScenario()
+{
+    Scenario s;
+    s.seed = 0; // fixed, never fuzzed
+    s.nodes = 2;
+    s.devicesPerNode = 4;
+
+    ServingConfig &cfg = s.serving;
+    cfg.model = mixtral8x7bE8K2();
+    cfg.policy = ServingPolicy::LaerServe;
+    cfg.capacity = 2;
+    cfg.simulatedLayers = 2;
+    cfg.retunePeriod = 8;
+    cfg.horizon = 2.0;
+    cfg.seed = 20260808;
+    cfg.threads = 1;
+    cfg.arrival.kind = ArrivalKind::Poisson;
+    cfg.arrival.ratePerSec = 12.0;
+    cfg.arrival.meanPrefillTokens = 128;
+    cfg.arrival.meanDecodeTokens = 24;
+    cfg.arrival.numSloClasses = 2;
+    cfg.arrival.seed = 20260808;
+    cfg.batcher.numSloClasses = 2;
+
+    s.controlInterval = 0.5;
+    s.snapshotInterval = 0.25;
+    return s;
+}
+
+SnapshotStream
+captureGoldenStream()
+{
+    const Scenario s = goldenScenario();
+    RunCapture capture = captureServingRun(s.makeCluster(), s.serving,
+                                           s.snapshotInterval);
+    return std::move(capture.stream);
+}
+
+void
+writeGoldenJson(std::ostream &os, const SnapshotStream &stream)
+{
+    os << "{\"snapshots\": [";
+    for (std::size_t i = 0; i < stream.snapshots.size(); ++i) {
+        const CounterSnapshot &snap = stream.snapshots[i];
+        os << (i ? ",\n" : "\n") << "  {\"t\": ";
+        writeDouble(os, snap.simTime);
+        os << ", \"values\": [";
+        for (std::size_t k = 0; k < snap.values.size(); ++k) {
+            os << (k ? "," : "") << "\n    [";
+            writeString(os, snap.values[k].first);
+            os << ", ";
+            writeDouble(os, snap.values[k].second);
+            os << "]";
+        }
+        os << (snap.values.empty() ? "]}" : "\n  ]}");
+    }
+    os << "\n]}\n";
+}
+
+SnapshotStream
+readGoldenJson(std::istream &is)
+{
+    Cursor cur(is);
+    SnapshotStream stream;
+    cur.expect('{');
+    cur.expectKey("snapshots");
+    cur.expect('[');
+    if (!cur.accept(']')) {
+        do {
+            CounterSnapshot snap;
+            cur.expect('{');
+            cur.expectKey("t");
+            snap.simTime = cur.parseDouble();
+            cur.expect(',');
+            cur.expectKey("values");
+            cur.expect('[');
+            if (!cur.accept(']')) {
+                do {
+                    cur.expect('[');
+                    std::string name = cur.parseString();
+                    cur.expect(',');
+                    const double value = cur.parseDouble();
+                    cur.expect(']');
+                    snap.values.emplace_back(std::move(name), value);
+                } while (cur.accept(','));
+                cur.expect(']');
+            }
+            cur.expect('}');
+            stream.snapshots.push_back(std::move(snap));
+        } while (cur.accept(','));
+        cur.expect(']');
+    }
+    cur.expect('}');
+    cur.expectEnd();
+    return stream;
+}
+
+DiffReport
+checkAgainstGolden(const SnapshotStream &golden)
+{
+    DiffReport report =
+        diffStreams(golden, captureGoldenStream(), DiffOptions());
+    report.refLabel = "golden-file";
+    report.candLabel = "fresh-run";
+    return report;
+}
+
+} // namespace laer

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Cross-process golden files for the differential tester.
+ *
+ * The in-process lanes (difftest/lanes.hh) compare two runs of the
+ * SAME binary; a golden file freezes one run's checkpoint stream to
+ * disk so a DIFFERENT process — a future commit, another build type,
+ * another machine — can be diffed against it. This is the
+ * byte-stability contract of the default serving path: every counter
+ * of the canonical scenario, at every checkpoint, %.17g-round-tripped
+ * so doubles survive the disk hop bit-exactly.
+ *
+ * Format (all doubles printed with %.17g, parsed with strtod — an
+ * exact round trip for IEEE-754 binary64):
+ *
+ *   {"snapshots": [
+ *     {"t": <simTime>, "values": [["<name>", <value>], ...]},
+ *     ...
+ *   ]}
+ *
+ * The parser is a minimal hand-rolled cursor over exactly this
+ * grammar (no external JSON dependency); malformed input raises
+ * FatalError naming the byte offset.
+ *
+ * `difftest_main --record-golden=F` writes the canonical scenario's
+ * stream to F; `--check-golden=F` re-runs the scenario and diffs the
+ * fresh stream against F with the default wall-clock exclusions. The
+ * committed reference lives at tests/golden/serving_default.golden.json.
+ */
+
+#ifndef LAER_DIFFTEST_GOLDEN_HH
+#define LAER_DIFFTEST_GOLDEN_HH
+
+#include <iosfwd>
+
+#include "difftest/diff.hh"
+#include "difftest/probe.hh"
+#include "difftest/scenario_gen.hh"
+
+namespace laer
+{
+
+/**
+ * The canonical golden scenario: a fixed (never fuzzed) default-path
+ * serving run — LaerServe on a 2x4 cluster, Poisson arrivals, serial
+ * event core, no control loop — chosen to cover the exact code path
+ * the repo's figure binaries exercise. Changing any knob here
+ * invalidates committed golden files; re-record them deliberately.
+ */
+Scenario goldenScenario();
+
+/** Capture the canonical scenario's checkpoint stream. */
+SnapshotStream captureGoldenStream();
+
+/** Serialize a stream to the golden JSON format (see file comment). */
+void writeGoldenJson(std::ostream &os, const SnapshotStream &stream);
+
+/**
+ * Parse a golden JSON file back into a stream.
+ * @throws FatalError on any deviation from the grammar, naming the
+ *         byte offset of the first unexpected character.
+ */
+SnapshotStream readGoldenJson(std::istream &is);
+
+/**
+ * Re-run the canonical scenario and diff it against a recorded
+ * golden stream (default wall-clock exclusions apply).
+ */
+DiffReport checkAgainstGolden(const SnapshotStream &golden);
+
+} // namespace laer
+
+#endif // LAER_DIFFTEST_GOLDEN_HH

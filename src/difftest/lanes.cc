@@ -58,6 +58,54 @@ class ThreadsLane : public EquivalenceLane
     }
 };
 
+// ---- serial-vs-parallel-des: windowed event core fan-out ------------
+
+class SerialParallelDesLane : public EquivalenceLane
+{
+  public:
+    const char *name() const override
+    {
+        return "serial-vs-parallel-des";
+    }
+    const char *description() const override
+    {
+        return "windowed event core at 1 worker vs 4, driven by an "
+               "active threshold autoscaler over replica slices; "
+               "per-engine window buffers merge in engine order, so "
+               "every simulated number is bit-identical";
+    }
+    Scenario prepare(Scenario s) const override
+    {
+        // The windowed core runs aggregated pools only; replica
+        // slices of half the cluster give the autoscaler real
+        // scale decisions to exercise the serial reconfig fallback.
+        if (s.serving.policy == ServingPolicy::Disaggregated)
+            s.serving.policy = ServingPolicy::LaerServe;
+        s.serving.desParallel = true;
+        s.serving.replicas.replicaDevices =
+            (s.nodes * s.devicesPerNode) / 2;
+        return s;
+    }
+    LaneRun runAt(const Scenario &s, int threads) const
+    {
+        ServingConfig cfg = s.serving;
+        cfg.threads = threads;
+        ControlLoopConfig loop;
+        loop.interval = s.controlInterval;
+        loop.kind = AutoscalerKind::ThresholdHysteresis;
+        return servingRun(
+            s, "des-threads=" + std::to_string(threads), cfg, &loop);
+    }
+    LaneRun runRef(const Scenario &s) const override
+    {
+        return runAt(s, 1);
+    }
+    LaneRun runCandidate(const Scenario &s) const override
+    {
+        return runAt(s, 4);
+    }
+};
+
 // ---- metrics-mode: Exact vs Streaming storage -----------------------
 
 class MetricsModeLane : public EquivalenceLane
@@ -272,13 +320,14 @@ const std::vector<const EquivalenceLane *> &
 equivalenceLanes()
 {
     static const ThreadsLane threads;
+    static const SerialParallelDesLane serial_parallel_des;
     static const MetricsModeLane metrics_mode;
     static const ControlNoneLane control_none;
     static const SwapRecomputeLane swap_recompute;
     static const DenseSparseLane dense_sparse;
     static const std::vector<const EquivalenceLane *> lanes = {
-        &threads, &metrics_mode, &control_none, &swap_recompute,
-        &dense_sparse,
+        &threads, &serial_parallel_des, &metrics_mode, &control_none,
+        &swap_recompute, &dense_sparse,
     };
     return lanes;
 }

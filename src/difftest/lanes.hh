@@ -11,6 +11,14 @@
  *  - "threads":        1 tuner worker vs a thread pool. The fan-out
  *                      is reduction-order-stable, so results are
  *                      bit-identical for any thread count.
+ *  - "serial-vs-parallel-des":
+ *                      the windowed event core (desParallel) at 1
+ *                      worker vs 4, driven by an active threshold
+ *                      autoscaler over replica slices. Engine windows
+ *                      execute share-nothing and merge in engine
+ *                      order; reconfigs fall back to the serial core,
+ *                      so every simulated number is bit-identical
+ *                      across thread counts.
  *  - "metrics-mode":   Exact vs Streaming metrics storage. Streaming
  *                      bounds sample memory; every simulated counter
  *                      must stay bit-identical (write-only

@@ -52,6 +52,12 @@ normalizeConfig(const Cluster &cluster, ServingConfig config)
         config.tuner.cost.compFlopsPerToken =
             config.model.expertFlopsPerToken();
 
+    LAER_CHECK(!config.desParallel ||
+                   config.policy != ServingPolicy::Disaggregated,
+               "the windowed event core cannot run disaggregated pools "
+               "(prefill->decode migrations couple the engines inside "
+               "a window)");
+
     if (config.policy == ServingPolicy::Disaggregated) {
         LAER_CHECK(n >= 2, "disaggregation needs at least two devices");
         if (config.disagg.prefillDevices == 0)
@@ -139,6 +145,20 @@ ServingSimulator::ServingSimulator(const Cluster &cluster,
     retuneSeen_.assign(engines_.size(), 0);
     drainStart_.assign(engines_.size(), -1.0);
     nextSnapshot_ = config_.snapshotInterval;
+    desParallel_ = config_.desParallel;
+    barrier_ = kNever;
+    retuneReplayed_.assign(engines_.size(), 0);
+    // Calendar handles: one per engine (keyed by index) plus the two
+    // singleton streams. Nothing is scheduled yet — every engine is
+    // free at t = 0 and the first arrival is unknown until the first
+    // pump.
+    for (std::size_t i = 0; i < engines_.size(); ++i)
+        engineWake_.push_back(
+            calendar_.makeHandle(static_cast<int>(i)));
+    arrivalWake_ =
+        calendar_.makeHandle(static_cast<int>(engines_.size()));
+    migrationWake_ =
+        calendar_.makeHandle(static_cast<int>(engines_.size()) + 1);
     // Replica slices beyond the initial count start parked: their
     // devices are dark until the control plane spins them up.
     if (config_.replicas.replicaDevices > 0)
@@ -173,7 +193,12 @@ ServingSimulator::engineConfigFor(const DevicePoolSlice &slice,
     ec.tuner.pool = threadPool_.get();
     ec.pool = threadPool_.get();
     ec.tunerBudgetMs = config_.tunerBudgetMs;
-    ec.metrics = config_.metricsRegistry;
+    // Windowed runs advance engines on worker threads; the registry is
+    // not thread-safe, so the engines run detached and the simulator
+    // replays their retune wall samples serially at each merge
+    // (replayRetuneMetrics).
+    ec.metrics =
+        config_.desParallel ? nullptr : config_.metricsRegistry;
     ec.flexMaxMoves = config_.flexMaxMoves;
     ec.hostLinkBw = config_.hostLinkBw;
     // Engines draw from disjoint seed streams; pool 0 keeps the run's
@@ -404,6 +429,7 @@ ServingSimulator::requestReplicas(int target)
                 EngineState::Loading);
             const Seconds d = loadDelayFor(slices_[i]);
             freeAt_[i] = now_ + d;
+            scheduleEngineWake(i);
             delay = std::max(delay, d);
             ++spun;
         }
@@ -435,6 +461,7 @@ ServingSimulator::requestReplicas(int target)
                 freeAt_[i] = now_; // no step in flight: drain at once
             engines_[i]->beginDrain();
             drainStart_[static_cast<std::size_t>(i)] = now_;
+            scheduleEngineWake(static_cast<std::size_t>(i));
             --to_drain;
         }
         applyReconfig();
@@ -503,6 +530,7 @@ ServingSimulator::requestSplit(int prefill_devices)
             freeAt_[i] = now_; // no step in flight: drain at once
         engines_[i]->beginDrain();
         drainStart_[static_cast<std::size_t>(i)] = now_;
+        scheduleEngineWake(static_cast<std::size_t>(i));
     }
     applyReconfig();
     return true;
@@ -593,6 +621,7 @@ ServingSimulator::updateRegistryGauges()
     MetricsRegistry *reg = config_.metricsRegistry;
     if (reg == nullptr)
         return;
+    replayRetuneMetrics();
     std::int64_t admissions = admissionsBase_;
     int retunes = retiredRetunes_;
     int waiting = 0;
@@ -673,11 +702,13 @@ void
 ServingSimulator::retireEngineCounters(std::size_t i)
 {
     emitRetuneSpans(i);
+    replayRetuneMetrics(); // flush before the sample vector vanishes
     admissionsBase_ += engines_[i]->batcher().totalAdmissions();
     retiredRetunes_ += engines_[i]->retunes();
     for (const RetuneWallSample &sample : engines_[i]->retuneWall())
         retiredRetuneWall_.push_back(sample);
     retuneSeen_[i] = 0;
+    retuneReplayed_[i] = 0;
     drainStart_[i] = -1.0;
 }
 
@@ -687,8 +718,10 @@ ServingSimulator::applyReconfig()
     // Promote engines whose model shards have landed.
     for (std::size_t i = 0; i < engines_.size(); ++i)
         if (engines_[i]->state() == EngineState::Loading &&
-            freeAt_[i] <= now_)
+            freeAt_[i] <= now_) {
             engines_[i]->setReady();
+            scheduleEngineWake(i);
+        }
 
     // Complete due drains. A Draining engine with freeAt_ <= now_ has
     // no step in flight: its live requests take the recompute
@@ -711,10 +744,15 @@ ServingSimulator::applyReconfig()
         if (pending_.split) {
             pending_.held[i] = std::move(evicted);
         } else {
-            for (const Request &r : evicted)
-                engines_[pickEngineForArrival()]->enqueue(r);
+            for (const Request &r : evicted) {
+                const std::size_t target =
+                    static_cast<std::size_t>(pickEngineForArrival());
+                engines_[target]->enqueue(r);
+                scheduleEngineWake(target);
+            }
             pending_.rehomed += static_cast<int>(evicted.size());
         }
+        scheduleEngineWake(i);
     }
 
     if (!pending_.active)
@@ -744,6 +782,7 @@ ServingSimulator::applyReconfig()
                 engines_[i]->enqueue(r);
             pending_.rehomed +=
                 static_cast<int>(pending_.held[i].size());
+            scheduleEngineWake(static_cast<std::size_t>(i));
         }
         ScalingEvent event;
         event.requested = pending_.requestedAt;
@@ -812,6 +851,7 @@ ServingSimulator::pumpArrivals()
         } else {
             engines_[0]->enqueue(lookahead_);
         }
+        scheduleEngineWake(target);
         ++offered_;
         LAER_TRACE_INSTANT(config_.trace, poolTrack(target), "admit",
                            "serve", lookahead_.arrival,
@@ -822,22 +862,26 @@ ServingSimulator::pumpArrivals()
                             TraceArg{"class", lookahead_.sloClass}});
         lookaheadValid_ = false;
     }
+    scheduleArrivalWake();
+}
+
+void
+ServingSimulator::recordCompletion(const Request &done)
+{
+    metrics_.record(done);
+    if (config_.metricsRegistry != nullptr) {
+        config_.metricsRegistry->histogram("serve.ttft_s")
+            .observe(done.ttft());
+        if (done.decodeTokens >= 2)
+            config_.metricsRegistry->histogram("serve.tpot_s")
+                .observe(done.tpot());
+    }
 }
 
 void
 ServingSimulator::harvestFinished(int pool_index)
 {
     const bool disagg = config_.policy == ServingPolicy::Disaggregated;
-    const auto recordCompletion = [this](const Request &done) {
-        metrics_.record(done);
-        if (config_.metricsRegistry != nullptr) {
-            config_.metricsRegistry->histogram("serve.ttft_s")
-                .observe(done.ttft());
-            if (done.decodeTokens >= 2)
-                config_.metricsRegistry->histogram("serve.tpot_s")
-                    .observe(done.tpot());
-        }
-    };
     for (Request r : engines_[pool_index]->takeFinished()) {
         if (!disagg || pool_index == 1) {
             recordCompletion(r);
@@ -885,6 +929,7 @@ ServingSimulator::harvestFinished(int pool_index)
         kvTransferSeconds_ += wire;
         ++migrated_;
     }
+    scheduleMigrationWake();
 }
 
 void
@@ -906,7 +951,9 @@ ServingSimulator::pumpMigrations()
         transferStallSeconds_ += now_ - m.readyAt;
         decode.enqueue(m.request);
         migrations_.pop_front();
+        scheduleEngineWake(1);
     }
+    scheduleMigrationWake();
     // Back-pressure: a transferred context stuck at the decode pool's
     // door closes prefill admission until the decode pool drains. A
     // draining prefill pool keeps its admission shut regardless.
@@ -948,6 +995,7 @@ ServingSimulator::runDueEngines()
             // the pool waits for the decode side to drain.
             LAER_ASSERT(engine.batcher().admissionPaused(),
                         "engine idle while holding live requests");
+            scheduleEngineWake(i);
             continue;
         }
 
@@ -992,6 +1040,7 @@ ServingSimulator::runDueEngines()
         if (res.retuned)
             emitRetuneSpans(i);
         harvestFinished(static_cast<int>(i));
+        scheduleEngineWake(i);
 
         if (shared_layout) {
             // The decode pool (leader) tunes from combined traffic;
@@ -1008,14 +1057,64 @@ ServingSimulator::runDueEngines()
     return ran;
 }
 
+void
+ServingSimulator::scheduleEngineWake(std::size_t i)
+{
+    // Busy engines with work wake at their finish; Loading and
+    // Draining engines wake regardless — the ready/idle moment is
+    // itself the event the control plane is waiting on. Past times
+    // are not events: the pumps re-evaluate every source each step,
+    // so a due-but-unserviceable wake never wedges the clock.
+    const EngineState state = engines_[i]->state();
+    const bool wakes = (engines_[i]->hasWork() ||
+                        state == EngineState::Loading ||
+                        state == EngineState::Draining) &&
+                       freeAt_[i] > now_;
+    const EventCalendar::Handle h = engineWake_[i];
+    if (!wakes) {
+        calendar_.cancel(h);
+        return;
+    }
+    if (calendar_.scheduled(h) && calendar_.timeOf(h) == freeAt_[i])
+        return; // unchanged: keep the live heap entry
+    calendar_.schedule(h, freeAt_[i]);
+}
+
+void
+ServingSimulator::scheduleArrivalWake()
+{
+    // A due-but-held arrival (front door closed during a
+    // reconfiguration) is not a future event; the drain/load wake-ups
+    // drive the clock until the door reopens.
+    if (!lookaheadValid_ || lookahead_.arrival <= now_) {
+        calendar_.cancel(arrivalWake_);
+        return;
+    }
+    if (calendar_.scheduled(arrivalWake_) &&
+        calendar_.timeOf(arrivalWake_) == lookahead_.arrival)
+        return;
+    calendar_.schedule(arrivalWake_, lookahead_.arrival);
+}
+
+void
+ServingSimulator::scheduleMigrationWake()
+{
+    if (migrations_.empty() || migrations_.front().readyAt <= now_) {
+        calendar_.cancel(migrationWake_);
+        return;
+    }
+    const Seconds ready = migrations_.front().readyAt;
+    if (calendar_.scheduled(migrationWake_) &&
+        calendar_.timeOf(migrationWake_) == ready)
+        return;
+    calendar_.schedule(migrationWake_, ready);
+}
+
 Seconds
-ServingSimulator::nextEventTime() const
+ServingSimulator::legacyNextEventTime() const
 {
     Seconds t = kNever;
     for (std::size_t i = 0; i < engines_.size(); ++i) {
-        // Busy engines with work wake at their finish; Loading and
-        // Draining engines wake regardless — the ready/idle moment is
-        // itself the event the control plane is waiting on.
         const EngineState state = engines_[i]->state();
         const bool wakes = engines_[i]->hasWork() ||
                            state == EngineState::Loading ||
@@ -1023,9 +1122,6 @@ ServingSimulator::nextEventTime() const
         if (wakes && freeAt_[i] > now_)
             t = std::min(t, freeAt_[i]);
     }
-    // A due-but-held arrival (front door closed during a
-    // reconfiguration) is not a future event; the drain/load wake-ups
-    // above drive the clock until the door reopens.
     if (lookaheadValid_ && lookahead_.arrival > now_)
         t = std::min(t, lookahead_.arrival);
     if (!migrations_.empty() && migrations_.front().readyAt > now_)
@@ -1033,14 +1129,36 @@ ServingSimulator::nextEventTime() const
     return t;
 }
 
+Seconds
+ServingSimulator::nextEventTime()
+{
+    const Seconds t = calendar_.peekTime();
+#ifndef NDEBUG
+    // Debug oracle: the calendar must agree with the exhaustive scan
+    // it replaced. Release builds skip the O(engines) walk — that
+    // walk being gone is the point of the calendar.
+    LAER_ASSERT(t == legacyNextEventTime(),
+                "event calendar disagrees with the legacy event scan");
+#endif
+    return t;
+}
+
+void
+ServingSimulator::setBarrier(Seconds t)
+{
+    LAER_CHECK(t > now_, "barrier " << t << " is not in the future of "
+                                    << now_);
+    barrier_ = t;
+}
+
 bool
 ServingSimulator::step()
 {
     maybeSnapshot();
     if (!config_.selfProfile)
-        return stepOnce();
+        return desParallel_ ? stepWindow() : stepOnce();
     const auto step_start = std::chrono::steady_clock::now();
-    const bool more = stepOnce();
+    const bool more = desParallel_ ? stepWindow() : stepOnce();
     profStepMs_ += std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - step_start)
                        .count();
@@ -1071,6 +1189,310 @@ ServingSimulator::stepOnce()
     LAER_ASSERT(t > now_, "simulation failed to advance");
     now_ = t;
     return true;
+}
+
+// ---- windowed event core (ServingConfig::desParallel) ----------------
+// Between barriers the engines are share-nothing partitions: requests
+// never move engine-to-engine outside a reconfiguration, and arrivals
+// are pre-binned before the fan-out. Each worker advances one engine's
+// private state (batcher, KV pool, RNG stream — disjoint since PR 5)
+// and buffers everything it would have emitted; the merge replays the
+// buffers in the order a serial sweep would have produced. Any thread
+// count therefore yields bit-identical results (difftest lane
+// serial-vs-parallel-des).
+
+bool
+ServingSimulator::stepWindow()
+{
+    // Reconfigurations couple the engines (drain re-homing, pool
+    // rebuilds, held queues), so the windowed core falls back to the
+    // per-event serial path until the topology settles. The fallback
+    // is itself deterministic, preserving thread-count equivalence.
+    if (reconfigPending())
+        return stepOnce();
+
+    // The window runs to the next control barrier or snapshot
+    // boundary, whichever comes first. Both are time grids, not
+    // calendar events: the serial core's clock lands ON events, the
+    // windowed core's clock walks the grid.
+    Seconds window_end = barrier_;
+    if (config_.metricsRegistry != nullptr &&
+        config_.snapshotInterval > 0.0)
+        window_end = std::min(window_end, nextSnapshot_);
+    LAER_ASSERT(window_end > now_, "window end not in the future");
+
+    std::vector<std::vector<Request>> bins =
+        binWindowArrivals(window_end);
+
+    bool busy = lookaheadValid_ || !migrations_.empty();
+    for (std::size_t i = 0; i < engines_.size() && !busy; ++i)
+        busy = engines_[i]->hasWork() ||
+               engines_[i]->state() == EngineState::Loading ||
+               !bins[i].empty();
+    if (!busy) {
+        LAER_ASSERT(offeringClosed_,
+                    "windowed run idle with the offering open");
+        LAER_ASSERT(!pending_.active, "run ended mid-reconfiguration");
+        return false;
+    }
+
+    std::vector<WindowBuffer> buffers(engines_.size());
+    const auto body = [&](int i) {
+        runEngineWindow(static_cast<std::size_t>(i), window_end,
+                        bins[static_cast<std::size_t>(i)],
+                        buffers[static_cast<std::size_t>(i)]);
+    };
+    if (threadPool_ != nullptr)
+        threadPool_->parallelFor(static_cast<int>(engines_.size()),
+                                 body);
+    else
+        for (int i = 0; i < static_cast<int>(engines_.size()); ++i)
+            body(i);
+    mergeWindowBuffers(buffers);
+
+    if (window_end == kNever)
+        // No barrier, no snapshot grid: the fan-out just ran the whole
+        // run to the drain. finish() raises the clock to the last
+        // engine's finish.
+        return false;
+    now_ = window_end;
+    return true;
+}
+
+std::vector<std::vector<Request>>
+ServingSimulator::binWindowArrivals(Seconds window_end)
+{
+    std::vector<std::vector<Request>> bins(engines_.size());
+    // Dispatch against the window-start load picture plus this
+    // window's own binned counts. The serial core reads live loads at
+    // each arrival instant; freezing the picture at the window start
+    // makes the choice independent of engine execution order — the
+    // windowed core's one documented semantic deviation (docs/PERF.md).
+    std::vector<int> load(engines_.size(), 0);
+    for (std::size_t i = 0; i < engines_.size(); ++i)
+        load[i] = engines_[i]->batcher().waitingCount() +
+                  engines_[i]->batcher().runningCount();
+    const bool replicas = config_.replicas.replicaDevices > 0;
+    while (!offeringClosed_) {
+        if (!lookaheadValid_) {
+            lookahead_ = arrivals_.next();
+            lookaheadValid_ = true;
+        }
+        if (lookahead_.arrival >= config_.horizon) {
+            offeringClosed_ = true;
+            lookaheadValid_ = false;
+            break;
+        }
+        if (lookahead_.arrival >= window_end)
+            break;
+        std::size_t target = 0;
+        if (replicas) {
+            int best = -1;
+            int best_load = 0;
+            for (std::size_t i = 0; i < engines_.size(); ++i) {
+                const EngineState state = engines_[i]->state();
+                if (state != EngineState::Active &&
+                    state != EngineState::Loading)
+                    continue;
+                if (best < 0 || load[i] < best_load) {
+                    best = static_cast<int>(i);
+                    best_load = load[i];
+                }
+            }
+            LAER_ASSERT(best >= 0, "no live replica to dispatch to");
+            target = static_cast<std::size_t>(best);
+        }
+        bins[target].push_back(lookahead_);
+        ++load[target];
+        ++offered_;
+        LAER_TRACE_INSTANT(config_.trace, poolTrack(target), "admit",
+                           "serve", lookahead_.arrival,
+                           {TraceArg{"id", lookahead_.id},
+                            TraceArg{"prefill",
+                                     lookahead_.prefillTokens},
+                            TraceArg{"decode", lookahead_.decodeTokens},
+                            TraceArg{"class", lookahead_.sloClass}});
+        lookaheadValid_ = false;
+    }
+    // Keep the calendar coherent for a later serial fallback.
+    scheduleArrivalWake();
+    return bins;
+}
+
+void
+ServingSimulator::runEngineWindow(std::size_t i, Seconds window_end,
+                                  const std::vector<Request> &arrivals,
+                                  WindowBuffer &buf)
+{
+    ServingEngine &engine = *engines_[i];
+    buf.kvEnabled = engine.batcher().kvEnabled();
+    Seconds free_at = freeAt_[i];
+    // Earliest instant the engine can act; never before the window.
+    Seconds clock = std::max(now_, free_at);
+    std::size_t next = 0;
+    const bool open = engine.state() == EngineState::Active ||
+                      engine.state() == EngineState::Loading;
+    LAER_ASSERT(open || arrivals.empty(),
+                "arrivals binned to a parked engine");
+    while (open) {
+        while (next < arrivals.size() &&
+               arrivals[next].arrival <= clock)
+            engine.enqueue(arrivals[next++]);
+        if (engine.state() == EngineState::Loading) {
+            // The shard-landing moment is the engine's own event; it
+            // promotes itself when that falls inside the window.
+            if (free_at >= window_end)
+                break;
+            engine.setReady();
+            continue; // clock >= free_at already
+        }
+        if (!engine.hasWork()) {
+            if (next >= arrivals.size())
+                break;
+            clock = std::max(clock, arrivals[next].arrival);
+            continue;
+        }
+        if (clock >= window_end)
+            break;
+        // One engine step at `clock` — the serial runDueEngines body
+        // with every emission buffered instead of recorded.
+        WindowStepRecord rec;
+        const BatchPlan plan = engine.planStep();
+        rec.preemptedClasses = engine.takePreemptedClasses();
+        if (plan.empty()) {
+            // Only back-pressure pauses admission, and back-pressure
+            // is disaggregation-only — which the windowed core
+            // rejects — so an idle engine holding work is a bug.
+            LAER_ASSERT(engine.batcher().admissionPaused(),
+                        "engine idle while holding live requests");
+            break;
+        }
+        ServingStepResult res;
+        if (config_.selfProfile) {
+            const auto exec_start = std::chrono::steady_clock::now();
+            res = engine.executeStep(plan, clock);
+            buf.execMs +=
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - exec_start)
+                    .count();
+        } else {
+            res = engine.executeStep(plan, clock);
+        }
+        res.pool = static_cast<int>(i);
+        res.preemptions =
+            static_cast<int>(rec.preemptedClasses.size());
+        if (buf.kvEnabled)
+            res.kvUtilization = engine.batcher().kvUtilization();
+        free_at = clock + res.duration;
+        engine.commitStep(plan, free_at);
+        rec.result = res;
+        rec.completions = engine.takeFinished();
+        buf.steps.push_back(std::move(rec));
+        clock = free_at;
+    }
+    // Arrivals the loop did not reach (engine loading past the window
+    // end, or busy across it) still join the queue — the serial core
+    // enqueues on arrival regardless of engine readiness.
+    while (next < arrivals.size())
+        engine.enqueue(arrivals[next++]);
+    buf.freeAt = free_at;
+}
+
+void
+ServingSimulator::mergeWindowBuffers(std::vector<WindowBuffer> &buffers)
+{
+    // Replay in (step start, engine index) order — exactly how a
+    // serial sweep would have interleaved the engines (each engine's
+    // step starts are strictly increasing, so a k-way front merge
+    // suffices). The latency collector's streaming percentiles are
+    // order-sensitive; this order is a pure function of the window
+    // inputs, never of worker scheduling.
+    std::vector<std::size_t> cursor(buffers.size(), 0);
+    for (;;) {
+        std::size_t b = buffers.size();
+        Seconds best_start = 0.0;
+        for (std::size_t i = 0; i < buffers.size(); ++i) {
+            if (cursor[i] >= buffers[i].steps.size())
+                continue;
+            const Seconds start =
+                buffers[i].steps[cursor[i]].result.start;
+            if (b == buffers.size() || start < best_start) {
+                b = i;
+                best_start = start;
+            }
+        }
+        if (b == buffers.size())
+            break;
+        const WindowStepRecord &rec = buffers[b].steps[cursor[b]++];
+        const ServingStepResult &res = rec.result;
+        for (const int slo_class : rec.preemptedClasses) {
+            metrics_.recordPreemption(slo_class);
+            LAER_TRACE_INSTANT(config_.trace, poolTrack(b), "preempt",
+                               "serve", res.start,
+                               {TraceArg{"class", slo_class}});
+        }
+        poolStats_[b].preemptions +=
+            static_cast<std::int64_t>(rec.preemptedClasses.size());
+        if (buffers[b].kvEnabled) {
+            metrics_.recordKvUtilization(res.kvUtilization);
+            poolStats_[b].kvUtil.add(res.kvUtilization);
+        }
+        ++poolStats_[b].steps;
+        if (config_.trace != nullptr) {
+            const char *kind =
+                res.prefill > 0 && res.decode > 0 ? "mixed_step"
+                : res.prefill > 0                 ? "prefill_step"
+                                                  : "decode_step";
+            config_.trace->span(
+                poolTrack(b), kind, "serve", res.start, res.duration,
+                {TraceArg{"tokens", res.tokens},
+                 TraceArg{"prefill", res.prefill},
+                 TraceArg{"decode", res.decode},
+                 TraceArg{"kv_util", res.kvUtilization},
+                 TraceArg{"retuned", res.retuned}});
+        }
+        if (config_.metricsRegistry != nullptr)
+            config_.metricsRegistry->histogram("serve.step_time_s")
+                .observe(res.duration);
+        for (const Request &done : rec.completions)
+            recordCompletion(done);
+        steps_.push_back(res);
+    }
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+        freeAt_[i] = buffers[i].freeAt;
+        scheduleEngineWake(i);
+        profExecMs_ += buffers[i].execMs;
+        emitRetuneSpans(i);
+    }
+    replayRetuneMetrics();
+}
+
+void
+ServingSimulator::replayRetuneMetrics()
+{
+    // Windowed engines run with EngineConfig::metrics detached (the
+    // registry is not thread-safe); their retune wall samples reach
+    // the registry here, serially. The serial core records per-layer
+    // solver times at the retuning step instead — both land before
+    // the next snapshot, and the planner.retune_wall_ms family is
+    // wall-clock noise the difftest layer already ignores.
+    if (!desParallel_ || config_.metricsRegistry == nullptr)
+        return;
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+        const std::vector<RetuneWallSample> &samples =
+            engines_[i]->retuneWall();
+        for (std::size_t s = retuneReplayed_[i]; s < samples.size();
+             ++s) {
+            config_.metricsRegistry
+                ->histogram("planner.retune_wall_ms")
+                .observe(samples[s].wallMs);
+            if (samples[s].overBudget)
+                config_.metricsRegistry
+                    ->counter("planner.retune_over_budget")
+                    .add(1);
+        }
+        retuneReplayed_[i] = samples.size();
+    }
 }
 
 ServingReport

@@ -52,6 +52,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/event_calendar.hh"
 #include "core/stats.hh"
 #include "model/config.hh"
 #include "model/memory.hh"
@@ -148,6 +149,20 @@ struct ServingConfig
      * (the planner must stay inside the budget for async re-layout
      * to hide behind serving steps at 512-1024 devices). */
     double tunerBudgetMs = 0.0;
+    /** Windowed share-nothing event core (docs/PERF.md): between
+     * control barriers (setBarrier()) and snapshot boundaries, the
+     * engines advance independently over `threads` workers against
+     * per-window pre-binned arrivals; metrics/trace emission is
+     * buffered per engine and merged in deterministic (time, engine)
+     * order at the window end. Results are bit-identical for ANY
+     * thread count (the serial-vs-parallel-des difftest lane), but NOT
+     * to the default per-event core: arrivals dispatch against
+     * window-start replica loads instead of per-arrival live loads.
+     * While a reconfiguration is in flight the simulator falls back to
+     * the per-event path, so autoscaled runs stay exact. Requires a
+     * non-disaggregated policy. Default off — the default path stays
+     * byte-for-byte with its history. */
+    bool desParallel = false;
 
     // ---- observability (src/obs/, docs/OBSERVABILITY.md) ----------
     // All of it is strictly write-only: recorders are never read back,
@@ -361,6 +376,15 @@ class ServingSimulator
     /** Record one control-loop decision window into the report. */
     void recordControlWindow(const ControlWindowSample &sample);
 
+    /**
+     * Cap the windowed event core's next advancement window at `t`
+     * (ctrl/control_loop.cc calls this with its next decision
+     * boundary, so no window ever crosses a decision point). Must be
+     * in the future. A no-op for the default per-event core, whose
+     * clock only ever lands ON events — the control loop simply reads
+     * now() after each step. */
+    void setBarrier(Seconds t);
+
     /** Requests offered so far (the control plane's arrival counter). */
     std::int64_t offeredRequests() const { return offered_; }
 
@@ -454,12 +478,76 @@ class ServingSimulator
     /** Route one pool's finished requests: metrics, or migration. */
     void harvestFinished(int pool_index);
 
+    /** Record one completed request: latency collector + histograms. */
+    void recordCompletion(const Request &done);
+
     /** Run every free engine with schedulable work at now_.
      * @return true when at least one engine executed a step. */
     bool runDueEngines();
 
     /** step() body (step() wraps it with snapshots + profiling). */
     bool stepOnce();
+
+    // ---- windowed event core (ServingConfig::desParallel) ----------
+
+    /** One engine step recorded off the simulator thread, replayed in
+     * deterministic order at the window merge. */
+    struct WindowStepRecord
+    {
+        ServingStepResult result;
+        std::vector<int> preemptedClasses; //!< planStep() evictions
+        std::vector<Request> completions;  //!< harvested at commit
+    };
+
+    /** Everything one engine emits while advancing through a window. */
+    struct WindowBuffer
+    {
+        std::vector<WindowStepRecord> steps;
+        Seconds freeAt = 0.0;  //!< engine busy-until at window end
+        double execMs = 0.0;   //!< wall inside executeStep (selfProfile)
+        bool kvEnabled = false;
+    };
+
+    /** Windowed step(): advance every engine to the next barrier /
+     * snapshot boundary in parallel, then merge. Falls back to
+     * stepOnce() while a reconfiguration is in flight. */
+    bool stepWindow();
+
+    /** Generate and bin this window's arrivals per engine against the
+     * window-start load picture. Advances offered_ and the lookahead. */
+    std::vector<std::vector<Request>> binWindowArrivals(Seconds window_end);
+
+    /** Advance engine `i` through [now_, window_end): admit its binned
+     * arrivals, promote it when its shards land, and run its steps,
+     * buffering all emission. Runs on a worker thread: touches only
+     * the engine and `buf`. */
+    void runEngineWindow(std::size_t i, Seconds window_end,
+                         const std::vector<Request> &arrivals,
+                         WindowBuffer &buf);
+
+    /** Replay the window's buffered per-engine emission in (step
+     * start, engine index) order — the interleaving a serial sweep of
+     * the same windows would have produced — then refresh freeAt_ and
+     * the calendar. */
+    void mergeWindowBuffers(std::vector<WindowBuffer> &buffers);
+
+    /** Feed retune wall samples into the registry (windowed runs keep
+     * EngineConfig::metrics detached so workers never race on it; the
+     * samples land here, serially, instead). */
+    void replayRetuneMetrics();
+
+    // ---- event calendar (core/event_calendar.hh) -------------------
+
+    /** Refresh engine `i`'s calendar entry from its state/freeAt_;
+     * call after every mutation that can change when (or whether) the
+     * engine wakes. */
+    void scheduleEngineWake(std::size_t i);
+
+    /** Refresh the next-arrival singleton entry from the lookahead. */
+    void scheduleArrivalWake();
+
+    /** Refresh the migration-front singleton entry. */
+    void scheduleMigrationWake();
 
     // ---- observability plumbing (no-ops when nothing is attached) --
 
@@ -495,8 +583,12 @@ class ServingSimulator
     void retireEngineCounters(std::size_t i);
 
     /** Earliest future event (engine finish, arrival, transfer);
-     * +infinity when the run has fully drained. */
-    Seconds nextEventTime() const;
+     * +infinity when the run has fully drained. O(log sources) off
+     * the calendar; debug builds cross-check the legacy scan. */
+    Seconds nextEventTime();
+
+    /** The pre-calendar O(engines) scan, kept as the debug oracle. */
+    Seconds legacyNextEventTime() const;
 
     /** Build the report from the current state (run()/finish()). */
     ServingReport buildReport() const;
@@ -537,6 +629,21 @@ class ServingSimulator
     bool lookaheadValid_ = false;
     bool offeringClosed_ = false;
     Seconds now_ = 0.0;
+
+    // Event calendar: one wake handle per engine (keyed by index, so
+    // simultaneous wakes pop in engine order) plus singleton streams.
+    // Entries always lie strictly in the future of now_.
+    EventCalendar calendar_;
+    std::vector<EventCalendar::Handle> engineWake_;
+    EventCalendar::Handle arrivalWake_ = EventCalendar::kInvalidHandle;
+    EventCalendar::Handle migrationWake_ = EventCalendar::kInvalidHandle;
+
+    // Windowed event core state.
+    bool desParallel_ = false;   //!< resolved config_.desParallel
+    Seconds barrier_ = 0.0;      //!< next control barrier (set in ctor
+                                 //!< to +inf; setBarrier() caps it)
+    std::vector<std::size_t> retuneReplayed_; //!< replayRetuneMetrics
+                                              //!< per-engine cursor
     std::int64_t offered_ = 0;
     std::int64_t migrated_ = 0;
     Bytes kvTransferBytes_ = 0;

@@ -102,11 +102,17 @@ RoutingGenerator::nextForTokens(const std::vector<TokenCount> &tokens)
     const std::vector<double> global = popularity();
     RoutingMatrix routing(model_.numDevices, model_.numExperts);
 
+    std::vector<double> alphas(global.size());
     for (DeviceId d = 0; d < model_.numDevices; ++d) {
         const TokenCount routed =
             tokens[d] * static_cast<TokenCount>(model_.topK);
+        // Sparse draw: a zero-token device routes nothing — its row is
+        // already zero and (with the opt-in flag) its jitter draw is
+        // skipped entirely. The dense path still burns the draw so the
+        // RNG stream matches historical runs.
+        if (model_.sparseDraw && routed == 0)
+            continue;
         // Per-device jitter: Dirichlet around the global popularity.
-        std::vector<double> alphas(global.size());
         const double conc = 1.0 / std::max(1e-6, model_.deviceJitter);
         for (std::size_t j = 0; j < global.size(); ++j)
             alphas[j] = std::max(1e-3, global[j] * conc *

@@ -47,6 +47,18 @@ struct RoutingModel
     double auxLossWeight = 0.0; //!< algorithmic balance feedback
     std::uint64_t seed = 42;
 
+    /**
+     * Skip the per-device Dirichlet/multinomial draw for devices
+     * carrying zero tokens (their routing row is zero either way).
+     * Near-empty drain steps go from O(devices * experts) gamma draws
+     * to O(active devices * experts) — the serving hot path's cost on
+     * the long tail of a drain. Off by default: skipping a draw
+     * advances the shared RNG stream differently, so runs with any
+     * empty device are NOT bit-identical to the dense draw (runs with
+     * no empty device are — tests/test_trace.cc pins both contracts).
+     */
+    bool sparseDraw = false;
+
     /** Wikitext-like preset: heavier skew, slower drift. */
     static RoutingModel wikitext(int n_devices, int n_experts, int top_k,
                                  TokenCount tokens_per_device);

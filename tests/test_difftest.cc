@@ -10,10 +10,13 @@
  */
 
 #include <algorithm>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "core/error.hh"
 #include "difftest/diff.hh"
+#include "difftest/golden.hh"
 #include "difftest/lanes.hh"
 #include "difftest/probe.hh"
 #include "difftest/scenario_gen.hh"
@@ -206,10 +209,10 @@ TEST(StreamInvariants, DetectBrokenConservationAndMonotonicity)
 
 TEST(Lanes, CatalogIsRegisteredAndLookableUp)
 {
-    ASSERT_EQ(equivalenceLanes().size(), 5u);
+    ASSERT_EQ(equivalenceLanes().size(), 6u);
     for (const char *name :
-         {"threads", "metrics-mode", "control-none", "swap-recompute",
-          "dense-sparse"})
+         {"threads", "serial-vs-parallel-des", "metrics-mode",
+          "control-none", "swap-recompute", "dense-sparse"})
         EXPECT_NE(laneByName(name), nullptr) << name;
     EXPECT_EQ(laneByName("no-such-lane"), nullptr);
 }
@@ -223,6 +226,67 @@ TEST(Lanes, EveryLanePassesOnASeededScenario)
             << lane->name() << ": " << outcome.diff.toText();
         EXPECT_GT(outcome.diff.comparisons, 0u) << lane->name();
     }
+}
+
+// ---- golden files -----------------------------------------------------------
+
+TEST(Golden, JsonRoundTripIsBitExact)
+{
+    SnapshotStream stream;
+    CounterSnapshot a;
+    a.simTime = 0.25;
+    a.values = {{"serve.offered", 17.0},
+                {"serve.ttft_s.mean", 0.0047663723957558279},
+                {"odd\"name\\x", -1.5e-300}};
+    CounterSnapshot b;
+    b.simTime = 1e6 + 0.125; // empty values list
+    stream.snapshots.push_back(a);
+    stream.snapshots.push_back(b);
+
+    std::stringstream buffer;
+    writeGoldenJson(buffer, stream);
+    const SnapshotStream loaded = readGoldenJson(buffer);
+
+    ASSERT_EQ(loaded.snapshots.size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        const CounterSnapshot &ref = stream.snapshots[i];
+        const CounterSnapshot &got = loaded.snapshots[i];
+        EXPECT_EQ(got.simTime, ref.simTime);
+        ASSERT_EQ(got.values.size(), ref.values.size());
+        for (std::size_t k = 0; k < ref.values.size(); ++k) {
+            EXPECT_EQ(got.values[k].first, ref.values[k].first);
+            // Bit-exact, not approximately equal: %.17g + strtod.
+            EXPECT_EQ(got.values[k].second, ref.values[k].second);
+        }
+    }
+}
+
+TEST(Golden, ParserRejectsGarbage)
+{
+    const char *bad[] = {
+        "",
+        "[]",
+        "{\"snapshots\": [",
+        "{\"wrong\": []}",
+        "{\"snapshots\": [{\"t\": x}]}",
+        "{\"snapshots\": []} trailing",
+    };
+    for (const char *text : bad) {
+        std::stringstream buffer(text);
+        EXPECT_THROW(readGoldenJson(buffer), FatalError) << text;
+    }
+}
+
+TEST(Golden, CanonicalScenarioIsStableWithinProcess)
+{
+    // Two captures of the canonical scenario must agree exactly —
+    // the in-process half of the cross-process byte-stability gate.
+    std::stringstream buffer;
+    writeGoldenJson(buffer, captureGoldenStream());
+    const DiffReport report =
+        checkAgainstGolden(readGoldenJson(buffer));
+    EXPECT_TRUE(report.identical()) << report.toText();
+    EXPECT_GT(report.comparisons, 0u);
 }
 
 // ---- shrinker ---------------------------------------------------------------

@@ -388,6 +388,68 @@ TEST(ServingSim, ThreadCountDoesNotChangeTheSimulation)
                          b.stepResults()[i].duration);
 }
 
+TEST(ServingSim, WindowedCoreIsEventIdenticalAcrossThreadCounts)
+{
+    // The windowed event core (ServingConfig::desParallel) fans
+    // engine advancement out over the worker pool and merges buffered
+    // emission deterministically: a 2-replica run must be
+    // event-for-event identical at 1 and 8 threads.
+    const Cluster cluster(2, 4, 300e9, 12.5e9, 212e12);
+    ServingConfig base = smallServingConfig(ServingPolicy::LaerServe);
+    base.replicas.replicaDevices = 4; // 2 replica engines
+    base.desParallel = true;
+    base.arrival.ratePerSec = 40.0;
+    ServingConfig threaded = base;
+    threaded.threads = 8;
+    ServingSimulator a(cluster, base);     // threads = 1: no pool
+    ServingSimulator b(cluster, threaded); // 8 workers
+    const ServingReport ra = a.run();
+    const ServingReport rb = b.run();
+    EXPECT_GT(ra.offered, 0);
+    EXPECT_EQ(ra.offered, ra.completed);
+    EXPECT_EQ(ra.offered, rb.offered);
+    EXPECT_EQ(ra.completed, rb.completed);
+    EXPECT_EQ(ra.steps, rb.steps);
+    EXPECT_EQ(ra.retunes, rb.retunes);
+    EXPECT_EQ(ra.preemptions, rb.preemptions);
+    EXPECT_DOUBLE_EQ(ra.elapsed, rb.elapsed);
+    EXPECT_DOUBLE_EQ(ra.ttftP50, rb.ttftP50);
+    EXPECT_DOUBLE_EQ(ra.ttftP99, rb.ttftP99);
+    EXPECT_DOUBLE_EQ(ra.tpotP99, rb.tpotP99);
+    EXPECT_DOUBLE_EQ(ra.throughputTps, rb.throughputTps);
+    EXPECT_DOUBLE_EQ(ra.goodputTps, rb.goodputTps);
+    // Event-for-event: the merged step sequences match exactly, in
+    // order — start, pool, size and pricing.
+    ASSERT_EQ(a.stepResults().size(), b.stepResults().size());
+    for (std::size_t i = 0; i < a.stepResults().size(); ++i) {
+        const ServingStepResult &sa = a.stepResults()[i];
+        const ServingStepResult &sb = b.stepResults()[i];
+        EXPECT_DOUBLE_EQ(sa.start, sb.start);
+        EXPECT_EQ(sa.pool, sb.pool);
+        EXPECT_EQ(sa.tokens, sb.tokens);
+        EXPECT_EQ(sa.prefill, sb.prefill);
+        EXPECT_EQ(sa.decode, sb.decode);
+        EXPECT_DOUBLE_EQ(sa.duration, sb.duration);
+        EXPECT_DOUBLE_EQ(sa.maxRelTokens, sb.maxRelTokens);
+    }
+}
+
+TEST(ServingSim, WindowedCoreCompletesEveryRequest)
+{
+    // Same workload through the windowed core on a single
+    // whole-cluster engine: conservation must close and the run must
+    // drain, barriers or not.
+    const Cluster cluster(2, 4, 300e9, 12.5e9, 212e12);
+    ServingConfig cfg = smallServingConfig(ServingPolicy::LaerServe);
+    cfg.desParallel = true;
+    ServingSimulator sim(cluster, cfg);
+    const ServingReport report = sim.run();
+    EXPECT_GT(report.offered, 0);
+    EXPECT_EQ(report.offered, report.completed);
+    EXPECT_GT(report.steps, 0);
+    EXPECT_GT(report.retunes, 0);
+}
+
 TEST(ServingSim, RetuneWallTimesAndBudgetOverrunsAreReported)
 {
     const Cluster cluster(2, 4, 300e9, 12.5e9, 212e12);

@@ -135,6 +135,66 @@ TEST(RoutingGenerator, PresetsDiffer)
     EXPECT_GT(wiki.drift, c4.drift);
 }
 
+TEST(RoutingGenerator, SparseDrawMatchesDenseWhenNoDeviceIsEmpty)
+{
+    // With every device carrying tokens the sparse path draws exactly
+    // what the dense path draws — bit-identical matrices, iteration
+    // after iteration (the RNG streams stay in lockstep).
+    RoutingModel dense = baseModel();
+    RoutingModel sparse = baseModel();
+    sparse.sparseDraw = true;
+    RoutingGenerator a(dense);
+    RoutingGenerator b(sparse);
+    std::vector<TokenCount> tokens = {64, 1, 128, 7, 4096, 32, 9, 300};
+    for (int it = 0; it < 20; ++it) {
+        const RoutingMatrix ra = a.nextForTokens(tokens);
+        const RoutingMatrix rb = b.nextForTokens(tokens);
+        for (DeviceId d = 0; d < 8; ++d)
+            for (ExpertId j = 0; j < 8; ++j)
+                ASSERT_EQ(ra.at(d, j), rb.at(d, j))
+                    << "iteration " << it << " device " << d
+                    << " expert " << j;
+    }
+}
+
+TEST(RoutingGenerator, SparseDrawSkipsEmptyDevicesAndDiverges)
+{
+    // An empty device contributes a zero row either way, but skipping
+    // its draw advances the RNG stream differently — the documented
+    // contract: sparse runs with empty devices are self-consistent,
+    // not dense-identical.
+    RoutingModel dense = baseModel();
+    RoutingModel sparse = baseModel();
+    sparse.sparseDraw = true;
+    RoutingGenerator a(dense);
+    RoutingGenerator b(sparse);
+    RoutingGenerator b2(sparse);
+    std::vector<TokenCount> tokens = {64, 0, 128, 0, 0, 0, 0, 3};
+    bool diverged = false;
+    for (int it = 0; it < 10; ++it) {
+        const RoutingMatrix ra = a.nextForTokens(tokens);
+        const RoutingMatrix rb = b.nextForTokens(tokens);
+        const RoutingMatrix rb2 = b2.nextForTokens(tokens);
+        for (DeviceId d = 0; d < 8; ++d) {
+            TokenCount dense_row = 0;
+            TokenCount sparse_row = 0;
+            for (ExpertId j = 0; j < 8; ++j) {
+                dense_row += ra.at(d, j);
+                sparse_row += rb.at(d, j);
+                // Sparse is deterministic for a seed regardless.
+                ASSERT_EQ(rb.at(d, j), rb2.at(d, j));
+                if (ra.at(d, j) != rb.at(d, j))
+                    diverged = true;
+            }
+            // Both paths conserve the per-device budget; empty
+            // devices route nothing under either.
+            ASSERT_EQ(dense_row, tokens[d] * 2);
+            ASSERT_EQ(sparse_row, tokens[d] * 2);
+        }
+    }
+    EXPECT_TRUE(diverged);
+}
+
 TEST(RoutingTrace, StoreAndRetrieve)
 {
     RoutingTrace trace(3, 2);

@@ -16,6 +16,13 @@
  *   --no-shrink     skip the shrink search on failures
  *   --list-lanes    print the lane catalog and exit
  *
+ * Cross-process golden files (difftest/golden.hh): the canonical
+ * default-path scenario frozen to disk, so another process — a future
+ * commit, another build — can be diffed against this one:
+ *   --record-golden=F  run the canonical scenario, write F, exit
+ *   --check-golden=F   re-run it and diff against F (exit 1 on any
+ *                      divergence — the byte-stability gate)
+ *
  * Exit status: 0 when every replay passed, 1 otherwise — so CI can
  * gate on the campaign and upload the JSON artifact on failure.
  */
@@ -27,6 +34,7 @@
 #include <vector>
 
 #include "core/cli.hh"
+#include "difftest/golden.hh"
 #include "difftest/lanes.hh"
 #include "difftest/scenario_gen.hh"
 
@@ -87,7 +95,39 @@ main(int argc, char **argv)
 {
     const CliArgs args(argc, argv,
                        {"seed", "runs", "lane", "report-out",
-                        "no-shrink", "list-lanes"});
+                        "no-shrink", "list-lanes", "record-golden",
+                        "check-golden"});
+
+    if (args.has("record-golden")) {
+        std::ofstream out(args.get("record-golden"));
+        if (!out) {
+            std::cerr << "cannot write " << args.get("record-golden")
+                      << "\n";
+            return 2;
+        }
+        writeGoldenJson(out, captureGoldenStream());
+        std::cout << "golden: recorded canonical scenario to "
+                  << args.get("record-golden") << "\n";
+        return 0;
+    }
+    if (args.has("check-golden")) {
+        std::ifstream in(args.get("check-golden"));
+        if (!in) {
+            std::cerr << "cannot read " << args.get("check-golden")
+                      << "\n";
+            return 2;
+        }
+        const SnapshotStream golden = readGoldenJson(in);
+        const DiffReport report = checkAgainstGolden(golden);
+        std::cout << report.toText();
+        if (report.identical()) {
+            std::cout << "golden: " << report.snapshotsCompared
+                      << " snapshots, " << report.comparisons
+                      << " comparisons, byte-stable\n";
+            return 0;
+        }
+        return 1;
+    }
 
     if (args.has("list-lanes")) {
         for (const EquivalenceLane *lane : equivalenceLanes())
