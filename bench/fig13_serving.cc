@@ -38,7 +38,9 @@
  * emits the tables as CSV for machine consumption; `--trace-out=FILE`
  * records every run into one Perfetto trace (tracks labelled
  * sweep/policy@point); `--metrics-out=FILE` appends per-run JSONL
- * counter snapshots.
+ * counter snapshots; `--slo-report-out=FILE` writes one SLO-miss
+ * attribution report per sweep point (JSON array, see
+ * docs/OBSERVABILITY.md).
  */
 
 #include <algorithm>
@@ -85,6 +87,7 @@ bool seed_overridden = false;
 std::uint64_t seed_override = 0;
 laer::TraceRecorder *trace_recorder = nullptr; //!< shared across runs
 std::string metrics_path;                      //!< "" = metrics off
+laer::SloReportSink *slo_sink = nullptr;       //!< --slo-report-out
 
 /** Attach the shared trace recorder and the run's registry to one
  * sweep point; `label` prefixes its trace tracks and tags its JSONL
@@ -101,14 +104,19 @@ attachObs(laer::ServingConfig &cfg, laer::MetricsRegistry &registry,
         cfg.metricsRegistry = &registry;
         cfg.snapshotInterval = 1.0;
     }
+    if (slo_sink != nullptr)
+        cfg.reqTrace = slo_sink->begin();
 }
 
-/** Append the run's snapshots to --metrics-out (if given). */
+/** Append the run's snapshots to --metrics-out and fold its SLO-miss
+ * report into --slo-report-out (when either was given). */
 void
 flushObs(const laer::MetricsRegistry &registry, const std::string &label)
 {
     if (!metrics_path.empty())
         registry.appendJsonlFile(metrics_path, label);
+    if (slo_sink != nullptr)
+        slo_sink->end(label);
 }
 
 /** True when the variant survives the --policy filter. */
@@ -294,11 +302,12 @@ main(int argc, char **argv)
 try {
     const laer::CliArgs args(argc, argv,
                              {"policy", "csv", "seed", "trace-out",
-                              "metrics-out", "help"});
+                              "metrics-out", "slo-report-out", "help"});
     if (args.has("help")) {
         std::cout
             << "usage: fig13_serving [--policy=NAME[,NAME...]] [--csv] "
-               "[--seed=N] [--trace-out=FILE] [--metrics-out=FILE]\n"
+               "[--seed=N] [--trace-out=FILE] [--metrics-out=FILE] "
+               "[--slo-report-out=FILE]\n"
                "  --policy      run only the named policies; names: "
                "StaticEP, FlexMoE, LAER, Disagg, DisaggShared\n"
                "  --csv         emit tables as CSV\n"
@@ -307,7 +316,9 @@ try {
                "  --trace-out   write a Chrome/Perfetto trace of every "
                "sweep point\n"
                "  --metrics-out append per-run JSONL counter "
-               "snapshots (1 s cadence)\n";
+               "snapshots (1 s cadence)\n"
+               "  --slo-report-out write one SLO-miss attribution "
+               "report per sweep point (JSON array)\n";
         return 0;
     }
     csv_output = args.has("csv");
@@ -326,6 +337,9 @@ try {
     metrics_path = metrics_out;
     if (!metrics_path.empty())
         std::ofstream(metrics_path, std::ios::trunc);
+    laer::SloReportSink slo(args.get("slo-report-out"));
+    if (slo.enabled())
+        slo_sink = &slo;
     for (const std::string &name : policy_filter) {
         const bool known =
             name == kStaticEp.label || name == kFlexMoe.label ||
@@ -392,6 +406,7 @@ try {
     disaggSweep(cluster);
     if (recorder)
         recorder->writeFile(trace_out);
+    slo.write();
 
     // The LAER-vs-StaticEP gate only applies when both policies ran.
     if (!selected(kLaer) || !selected(kStaticEp))

@@ -31,7 +31,8 @@
  * AutoReplica), `--csv`, `--seed=N`, `--quick` (tiny sweep for CI
  * smoke), `--trace-out=FILE` (Perfetto trace of every run),
  * `--metrics-out=FILE` (JSONL counter snapshots, 1 s cadence),
- * `--help`.
+ * `--slo-report-out=FILE` (one SLO-miss attribution report per run,
+ * JSON array — see docs/OBSERVABILITY.md), `--help`.
  */
 
 #include <algorithm>
@@ -239,12 +240,13 @@ main(int argc, char **argv)
 try {
     const laer::CliArgs args(argc, argv,
                              {"policy", "csv", "seed", "quick",
-                              "trace-out", "metrics-out", "help"});
+                              "trace-out", "metrics-out",
+                              "slo-report-out", "help"});
     if (args.has("help")) {
         std::cout
             << "usage: fig14_autoscale [--policy=NAME[,NAME...]] "
                "[--csv] [--seed=N] [--quick] [--trace-out=FILE] "
-               "[--metrics-out=FILE]\n"
+               "[--metrics-out=FILE] [--slo-report-out=FILE]\n"
                "  --policy      run only the named configurations; "
                "names: Static8/8, AutoSplit, AutoReplica\n"
                "  --csv         emit tables as CSV\n"
@@ -254,7 +256,9 @@ try {
                "  --trace-out   write a Chrome/Perfetto trace of every "
                "run (tracks labelled config@rate)\n"
                "  --metrics-out append one JSONL counter snapshot per "
-               "simulated second per run\n";
+               "simulated second per run\n"
+               "  --slo-report-out write one SLO-miss attribution "
+               "report per run (JSON array)\n";
         return 0;
     }
     csv_output = args.has("csv");
@@ -268,6 +272,7 @@ try {
         recorder = std::make_unique<laer::TraceRecorder>();
     if (!metrics_out.empty())
         std::ofstream(metrics_out, std::ios::trunc);
+    laer::SloReportSink slo(args.get("slo-report-out"));
     for (const std::string &name : policy_filter) {
         const bool known = name == variantName(Variant::StaticSplit) ||
                            name == variantName(Variant::AutoSplit) ||
@@ -318,9 +323,11 @@ try {
                 cfg.metricsRegistry = &registry;
                 cfg.snapshotInterval = 1.0;
             }
+            cfg.reqTrace = slo.begin();
             laer::ServingSimulator sim(cluster, cfg);
             laer::ControlLoop loop(sim, loopConfig(variant));
             const laer::ServingReport r = loop.run();
+            slo.end(label.str());
             if (!metrics_out.empty())
                 registry.appendJsonlFile(metrics_out, label.str());
 
@@ -365,6 +372,7 @@ try {
 
     if (recorder)
         recorder->writeFile(trace_out);
+    slo.write();
 
     if (quick || !policy_filter.empty())
         return 0;

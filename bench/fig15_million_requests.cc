@@ -25,16 +25,21 @@
  * bench_diff ratio gate covers regressions there).
  *
  *   ./fig15_million_requests [--quick] [--threads=N]
- *       [--compare-serial] [--out=PATH]
+ *       [--compare-serial] [--out=PATH] [--trace-out=FILE]
+ *       [--metrics-out=FILE]
  *
  * --compare-serial re-runs the identical scenario on the classic
  * per-event serial core and records the windowed core's speedup —
- * the number quoted in docs/PERF.md.
+ * the number quoted in docs/PERF.md. --trace-out writes one
+ * Chrome/Perfetto trace of the run(s), tracks keyed by arm
+ * ("windowed/", "serial/"); --metrics-out appends each arm's 1 s
+ * counter snapshots as JSONL keyed the same way.
  */
 
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -43,6 +48,7 @@
 #include "core/error.hh"
 #include "model/config.hh"
 #include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "serve/serving_sim.hh"
 #include "topo/cluster.hh"
 
@@ -50,6 +56,11 @@ namespace
 {
 
 using Clock = std::chrono::steady_clock;
+
+/** Shared obs sinks (set from --trace-out/--metrics-out; both off by
+ * default so the perf-gated run stays untouched). */
+laer::TraceRecorder *trace_recorder = nullptr;
+std::string metrics_path;
 
 /** Committed full-mode floors: measured ~82 sim-s/wall-s and ~145k
  * req/wall-s on the 1-core reference box, committed at roughly a
@@ -115,7 +126,7 @@ dayConfig(bool quick, int threads, bool windowed)
 
 ArmResult
 runArm(const laer::Cluster &cluster, laer::ServingConfig cfg,
-       laer::MetricsRegistry &registry)
+       laer::MetricsRegistry &registry, const std::string &label)
 {
     // Streaming metrics mode: bounded sample memory over a
     // million-request day, snapshotted at a coarse cadence (the
@@ -123,6 +134,10 @@ runArm(const laer::Cluster &cluster, laer::ServingConfig cfg,
     cfg.metricsRegistry = &registry;
     cfg.metricsMode = laer::MetricsMemoryMode::Streaming;
     cfg.snapshotInterval = 1.0;
+    if (trace_recorder != nullptr) {
+        cfg.trace = trace_recorder;
+        cfg.obsLabel = label;
+    }
 
     const Clock::time_point t0 = Clock::now();
     laer::ServingSimulator sim(cluster, cfg);
@@ -133,6 +148,8 @@ runArm(const laer::Cluster &cluster, laer::ServingConfig cfg,
     res.offered = report.offered;
     res.completed = report.completed;
     res.simSeconds = report.elapsed;
+    if (!metrics_path.empty())
+        registry.appendJsonlFile(metrics_path, label);
     return res;
 }
 
@@ -145,14 +162,19 @@ try {
 
     const CliArgs args(argc, argv,
                        {"quick", "threads", "compare-serial", "out",
-                        "help"});
+                        "trace-out", "metrics-out", "help"});
     if (args.has("help")) {
         std::cout << "usage: fig15_million_requests [--quick] "
-                     "[--threads=N] [--compare-serial] [--out=PATH]\n"
+                     "[--threads=N] [--compare-serial] [--out=PATH] "
+                     "[--trace-out=FILE] [--metrics-out=FILE]\n"
                      "  full mode runs the >= 1M-request day and "
                      "enforces the committed rate floors;\n"
                      "  --quick shrinks the day for CI smoke "
-                     "(floors skipped).\n";
+                     "(floors skipped).\n"
+                     "  --trace-out   write a Chrome/Perfetto trace "
+                     "of the run(s), tracks keyed by arm\n"
+                     "  --metrics-out append per-arm JSONL counter "
+                     "snapshots (1 s cadence)\n";
         return 0;
     }
     const bool quick = args.has("quick");
@@ -160,6 +182,15 @@ try {
     const int threads =
         static_cast<int>(args.getUint("threads", 0)); // 0 = hardware
     const std::string out_path = args.get("out", "BENCH_fig15.json");
+    const std::string trace_out = args.get("trace-out");
+    std::unique_ptr<TraceRecorder> recorder;
+    if (!trace_out.empty()) {
+        recorder = std::make_unique<TraceRecorder>();
+        trace_recorder = recorder.get();
+    }
+    metrics_path = args.get("metrics-out");
+    if (!metrics_path.empty())
+        std::ofstream(metrics_path, std::ios::trunc);
 
     const int nodes = 8;
     const Cluster cluster = Cluster::a100(nodes, 8);
@@ -171,7 +202,7 @@ try {
     MetricsRegistry registry;
     const ArmResult windowed =
         runArm(cluster, dayConfig(quick, threads, /*windowed=*/true),
-               registry);
+               registry, "windowed");
 
     std::cout << "windowed core: " << windowed.completed << "/"
               << windowed.offered << " requests over "
@@ -185,7 +216,7 @@ try {
         MetricsRegistry serial_registry;
         serial = runArm(cluster,
                         dayConfig(quick, threads, /*windowed=*/false),
-                        serial_registry);
+                        serial_registry, "serial");
         std::cout << "serial core:   " << serial.completed << "/"
                   << serial.offered << " requests in "
                   << serial.wallSeconds << " wall s ("
@@ -225,6 +256,10 @@ try {
         LAER_CHECK(out.good(), "cannot write " << out_path);
         out << json.str();
         std::cout << "wrote " << out_path << "\n";
+    }
+    if (recorder) {
+        recorder->writeFile(trace_out);
+        std::cout << "wrote " << trace_out << "\n";
     }
 
     // ---- acceptance gates ----------------------------------------------

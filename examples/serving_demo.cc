@@ -11,9 +11,13 @@
  *
  *   ./examples/serving_demo [--policy=NAME[,NAME...]] [--csv]
  *                           [--trace-out=FILE] [--metrics-out=FILE]
+ *                           [--slo-report-out=FILE]
  *
  * Policy names: StaticEP, FlexMoE, LAER, Disagg. The obs flags record
- * every policy's run into one Perfetto trace / JSONL snapshot file.
+ * every policy's run into one Perfetto trace / JSONL snapshot file;
+ * --slo-report-out writes a JSON array with one SLO-miss report per
+ * policy (top-K worst requests with exact latency attribution, see
+ * docs/OBSERVABILITY.md).
  */
 
 #include <algorithm>
@@ -89,17 +93,20 @@ try {
     const CliArgs args(argc, argv,
                        {"policy", "csv", "seed", "threads",
                         "tuner-budget-ms", "trace-out", "metrics-out",
-                        "help"});
+                        "slo-report-out", "help"});
     if (args.has("help")) {
         std::cout << "usage: serving_demo [--policy=NAME[,NAME...]] "
                      "[--csv] [--seed=N] [--threads=N] "
                      "[--tuner-budget-ms=MS] [--trace-out=FILE] "
-                     "[--metrics-out=FILE]\n  names: StaticEP, "
+                     "[--metrics-out=FILE] [--slo-report-out=FILE]\n"
+                     "  names: StaticEP, "
                      "FlexMoE, LAER, Disagg\n  --threads=0 uses the "
                      "hardware concurrency (results are identical "
                      "for any value)\n  --trace-out writes a "
                      "Chrome/Perfetto trace; --metrics-out appends "
-                     "JSONL counter snapshots\n";
+                     "JSONL counter snapshots\n  --slo-report-out "
+                     "writes one SLO-miss attribution report per "
+                     "policy (JSON array)\n";
         return 0;
     }
     const bool csv = args.has("csv");
@@ -118,6 +125,7 @@ try {
         recorder = std::make_unique<TraceRecorder>();
     if (!metrics_out.empty())
         std::ofstream(metrics_out, std::ios::trunc);
+    SloReportSink slo(args.get("slo-report-out"));
 
     const std::pair<const char *, ServingPolicy> policies[] = {
         {"StaticEP", ServingPolicy::StaticEp},
@@ -164,8 +172,10 @@ try {
             cfg.metricsRegistry = &registry;
             cfg.snapshotInterval = 1.0;
         }
+        cfg.reqTrace = slo.begin();
         ServingSimulator sim(cluster, cfg);
         const ServingReport r = sim.run();
+        slo.end(label);
         if (!metrics_out.empty())
             registry.appendJsonlFile(metrics_out, label);
         summary.startRow();
@@ -231,6 +241,7 @@ try {
     }
     if (recorder)
         recorder->writeFile(trace_out);
+    slo.write();
     return 0;
 } catch (const laer::FatalError &err) {
     std::cerr << "serving_demo: " << err.what() << "\n";

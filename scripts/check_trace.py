@@ -10,7 +10,15 @@ Checks, in order:
      (TraceRecorder::write sorts each track, so out-of-order events
      mean the writer regressed);
   4. at least one complete event and at least one instant event exist
-     (a trace with only metadata means the recorder was never fed).
+     (a trace with only metadata means the recorder was never fed);
+  5. flow events (``ph`` in "s"/"t"/"f") carry a numeric ``id``,
+     steps/finishes bind to the enclosing slice (``bp == "e"``), and
+     every flow id has exactly one start, exactly one finish, and
+     non-decreasing timestamps along the s -> t* -> f chain — the
+     shape the per-request lifecycle recorder (--slo-report-out /
+     ServingConfig::reqTrace) emits, one flow per sampled request;
+  6. when flows exist, at least one "req/<id>" per-request track
+     exists (the flow finish lands back on the request's own track).
 
 Exit status 0 on success, 1 on any failure. Used by the CI bench-smoke
 job against ``fig14_autoscale --quick --trace-out``; run it locally as
@@ -55,6 +63,8 @@ def main():
     spans = instants = 0
     seen_categories = set()
     last_ts = {}  # (pid, tid) -> last timestamp seen
+    track_names = {}  # (pid, tid) -> thread_name metadata
+    flows = {}  # flow id -> {"s": n, "t": n, "f": n, "last_ts": ts}
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             fail(f"event #{i} is {type(ev).__name__}, "
@@ -64,6 +74,10 @@ def main():
                 fail(f"event #{i} lacks required key '{key}': {ev}")
         ph = ev["ph"]
         if ph == "M":  # metadata carries no timeline position
+            if ev["name"] == "thread_name":
+                name = ev.get("args", {}).get("name")
+                if isinstance(name, str):
+                    track_names[(ev["pid"], ev["tid"])] = name
             continue
         if "ts" not in ev:
             fail(f"event #{i} lacks required key 'ts': {ev}")
@@ -86,11 +100,47 @@ def main():
             spans += 1
         elif ph == "i":
             instants += 1
+        elif ph in ("s", "t", "f"):
+            if not isinstance(ev.get("id"), (int, float)):
+                fail(f"flow event #{i} lacks a numeric 'id': {ev}")
+            if ph != "s" and ev.get("bp") != "e":
+                fail(
+                    f"flow {ph!r} event #{i} must bind to the "
+                    f"enclosing slice (bp == 'e'): {ev}"
+                )
+            # Flow identity is the (category, name, id) triple.
+            flow_id = (ev.get("cat"), ev["name"], ev["id"])
+            flow = flows.setdefault(
+                flow_id, {"s": 0, "t": 0, "f": 0, "last_ts": None}
+            )
+            if flow["f"] > 0:
+                fail(f"flow {flow_id} continues after its finish "
+                     f"(event #{i}): {ev}")
+            if ph != "s" and flow["s"] == 0:
+                fail(f"flow {flow_id} {ph!r} event #{i} precedes "
+                     f"its start: {ev}")
+            if flow["last_ts"] is not None and ts < flow["last_ts"]:
+                fail(
+                    f"flow {flow_id} runs backwards at event #{i}: "
+                    f"{ts} after {flow['last_ts']}"
+                )
+            flow[ph] += 1
+            flow["last_ts"] = ts
 
     if spans == 0:
         fail("no complete ('X') span events in the trace")
     if instants == 0:
         fail("no instant ('i') events in the trace")
+    for flow_id, flow in flows.items():
+        if flow["s"] != 1:
+            fail(f"flow {flow_id} has {flow['s']} starts (want 1)")
+        if flow["f"] != 1:
+            fail(f"flow {flow_id} never finished")
+    req_tracks = sum(
+        1 for name in track_names.values() if "req/" in name
+    )
+    if flows and req_tracks == 0:
+        fail("flow events present but no 'req/<id>' request tracks")
     for cat in EXPECTED_CATEGORIES:
         if cat not in seen_categories:
             print(
@@ -101,7 +151,8 @@ def main():
 
     print(
         f"check_trace: OK: {len(events)} events, {spans} spans, "
-        f"{instants} instants, {len(last_ts)} tracks"
+        f"{instants} instants, {len(last_ts)} tracks, "
+        f"{len(flows)} request flows, {req_tracks} request tracks"
     )
 
 

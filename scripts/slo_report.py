@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Validate and pretty-print an SLO-miss report from --slo-report-out.
+
+The serving binaries (serving_demo, fig13_serving, fig14_autoscale)
+write a JSON array with one object per labelled run, each the
+serialised form of ReqTraceRecorder::writeSloJson(): sampling
+parameters, attribution-conservation violations, and the top-K
+worst-TTFT / worst-TPOT requests with their exact additive latency
+decompositions (see docs/OBSERVABILITY.md).
+
+Checks, per run object:
+  1. the required keys are present with the right JSON types;
+  2. every record carries both component breakdowns, each holding the
+     seven components plus ``measured_s``/``exact``;
+  3. conservation: summing the components left-to-right in serialised
+     order reproduces ``measured_s`` — bit-for-bit when ``exact`` is
+     true (the 17-digit doubles round-trip), else within the
+     recorder's residual tolerance;
+  4. the worst-K lists are sorted worst-first (TTFT / TPOT resp.);
+  5. ``violations`` is a list of strings consistent with
+     ``violation_count`` (the list is capped at 32 messages).
+
+Exit status 0 when every run validates, 1 on any malformed input.
+Used by the CI bench-smoke job against ``fig14_autoscale --quick
+--slo-report-out``; run it locally as
+
+    python3 scripts/slo_report.py slo.json
+"""
+
+import json
+import sys
+
+COMPONENTS = (
+    "queue_wait",
+    "prefill_compute",
+    "preempt_recovery",
+    "retune_pause",
+    "kv_transfer",
+    "transfer_stall",
+    "decode_residency",
+)
+RUN_KEYS = {
+    "run": str,
+    "sample_every": int,
+    "seed": int,
+    "top_k": int,
+    "sampled_retired": int,
+    "live": int,
+    "violation_count": int,
+    "violations": list,
+    "worst_ttft": list,
+    "worst_tpot": list,
+}
+RECORD_KEYS = {
+    "id": int,
+    "class": int,
+    "arrival_s": (int, float),
+    "ttft_s": (int, float),
+    "tpot_s": (int, float),
+    "e2e_s": (int, float),
+    "preemptions": int,
+    "slo_miss": bool,
+    "ttft_components_s": dict,
+    "e2e_components_s": dict,
+}
+
+
+def fail(msg):
+    print(f"slo_report: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_breakdown(where, bk):
+    if not isinstance(bk, dict):
+        fail(f"{where}: breakdown is {type(bk).__name__}, "
+             "expected an object")
+    for key in COMPONENTS + ("measured_s", "exact"):
+        if key not in bk:
+            fail(f"{where}: breakdown lacks '{key}'")
+    for name in COMPONENTS:
+        if not isinstance(bk[name], (int, float)):
+            fail(f"{where}: component '{name}' is not a number")
+    measured = bk["measured_s"]
+    if not isinstance(measured, (int, float)):
+        fail(f"{where}: measured_s is not a number")
+    if not isinstance(bk["exact"], bool):
+        fail(f"{where}: exact is not a boolean")
+    # The canonical reconstruction: left-to-right IEEE-754 sum in
+    # serialised (enum) order, queue_wait first. With exact=true the
+    # 17-digit doubles must re-sum to measured_s bit-for-bit.
+    total = 0.0
+    for name in COMPONENTS:
+        total += bk[name]
+    if bk["exact"]:
+        if total != measured:
+            fail(
+                f"{where}: components re-sum to {total!r}, not the "
+                f"measured {measured!r} (exact=true)"
+            )
+    elif abs(total - measured) > 1e-9 + 1e-9 * abs(measured):
+        fail(
+            f"{where}: components re-sum to {total!r}, "
+            f"{abs(total - measured):g} off the measured {measured!r}"
+        )
+
+
+def check_record(where, rec):
+    if not isinstance(rec, dict):
+        fail(f"{where}: record is {type(rec).__name__}, "
+             "expected an object")
+    for key, types in RECORD_KEYS.items():
+        if key not in rec:
+            fail(f"{where}: record lacks '{key}'")
+        if not isinstance(rec[key], types) or (
+            types is int and isinstance(rec[key], bool)
+        ):
+            fail(f"{where}: '{key}' has the wrong type: {rec[key]!r}")
+    check_breakdown(f"{where}.ttft_components_s",
+                    rec["ttft_components_s"])
+    check_breakdown(f"{where}.e2e_components_s",
+                    rec["e2e_components_s"])
+
+
+def check_run(where, run):
+    if not isinstance(run, dict):
+        fail(f"{where}: run is {type(run).__name__}, "
+             "expected an object")
+    for key, types in RUN_KEYS.items():
+        if key not in run:
+            fail(f"{where}: run lacks '{key}'")
+        if not isinstance(run[key], types) or (
+            types is int and isinstance(run[key], bool)
+        ):
+            fail(f"{where}: '{key}' has the wrong type: {run[key]!r}")
+    for v in run["violations"]:
+        if not isinstance(v, str):
+            fail(f"{where}: violations entries must be strings")
+    if run["violation_count"] < len(run["violations"]):
+        fail(
+            f"{where}: violation_count ({run['violation_count']}) "
+            f"below the listed violations ({len(run['violations'])})"
+        )
+    for kind, order_key in (("worst_ttft", "ttft_s"),
+                            ("worst_tpot", "tpot_s")):
+        records = run[kind]
+        if len(records) > run["top_k"]:
+            fail(f"{where}: {kind} exceeds top_k")
+        for i, rec in enumerate(records):
+            check_record(f"{where}.{kind}[{i}]", rec)
+        for i in range(1, len(records)):
+            if records[i][order_key] > records[i - 1][order_key]:
+                fail(f"{where}: {kind} not sorted worst-first "
+                     f"at index {i}")
+
+
+def print_run(run):
+    miss = sum(1 for r in run["worst_ttft"] if r["slo_miss"])
+    print(
+        f"run '{run['run']}': {run['sampled_retired']} sampled "
+        f"retirements (1 in {run['sample_every']}), "
+        f"{run['violation_count']} conservation violations, "
+        f"{miss}/{len(run['worst_ttft'])} of worst-TTFT missed SLO"
+    )
+    for kind, metric, unit_key in (
+        ("worst TTFT", "ttft_s", "ttft_components_s"),
+        ("worst TPOT", "tpot_s", "e2e_components_s"),
+    ):
+        records = run["worst_ttft" if metric == "ttft_s"
+                      else "worst_tpot"]
+        if not records:
+            continue
+        print(f"  {kind}:")
+        for rec in records:
+            bk = rec[unit_key]
+            parts = ", ".join(
+                f"{name} {1e3 * bk[name]:.1f}"
+                for name in COMPONENTS
+                if bk[name] > 0.0
+            )
+            flag = " SLO-MISS" if rec["slo_miss"] else ""
+            print(
+                f"    req {rec['id']} (class {rec['class']}, "
+                f"{rec['preemptions']} preempts){flag}: "
+                f"{1e3 * rec[metric]:.1f} ms <- {parts} (ms)"
+            )
+    for line in run["violations"]:
+        print(f"  violation: {line}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: slo_report.py <slo.json>")
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as err:
+        fail(f"cannot read {path}: {err}")
+    except json.JSONDecodeError as err:
+        fail(f"{path} is not valid JSON: {err}")
+
+    # One binary invocation writes an array of runs; a bare run object
+    # (writeSloJson piped directly) is accepted too.
+    runs = doc if isinstance(doc, list) else [doc]
+    if not runs:
+        fail("no runs in the report")
+    for i, run in enumerate(runs):
+        check_run(f"run[{i}]", run)
+    for run in runs:
+        print_run(run)
+    violations = sum(run["violation_count"] for run in runs)
+    print(
+        f"slo_report: OK: {len(runs)} run(s), "
+        f"{sum(run['sampled_retired'] for run in runs)} sampled "
+        f"retirements, {violations} conservation violations"
+    )
+    sys.exit(1 if violations else 0)
+
+
+if __name__ == "__main__":
+    main()

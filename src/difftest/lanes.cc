@@ -25,10 +25,14 @@ servingRun(const Scenario &scenario, const std::string &label,
 {
     LaneRun run;
     run.label = label;
+    // Observability key: scenario seed + side, so campaign-level
+    // --trace-out/--metrics-out artifacts separate the replays.
     RunCapture capture = captureServingRun(
-        scenario.makeCluster(), config, scenario.snapshotInterval, loop);
+        scenario.makeCluster(), config, scenario.snapshotInterval, loop,
+        "s" + std::to_string(scenario.seed) + "/" + label);
     run.stream = std::move(capture.stream);
     run.report = std::move(capture.report);
+    run.traceViolations = std::move(capture.traceViolations);
     return run;
 }
 
@@ -365,6 +369,14 @@ runLane(const EquivalenceLane &lane, const Scenario &scenario)
         outcome.candViolations =
             checkStreamInvariants(cand.stream, context);
     }
+    // Attribution conservation applies wherever a serving run was
+    // captured, independent of the stream-level invariants.
+    outcome.refViolations.insert(outcome.refViolations.end(),
+                                 ref.traceViolations.begin(),
+                                 ref.traceViolations.end());
+    outcome.candViolations.insert(outcome.candViolations.end(),
+                                  cand.traceViolations.begin(),
+                                  cand.traceViolations.end());
     return outcome;
 }
 

@@ -66,6 +66,11 @@ struct LaneRun
     std::string label;     //!< e.g. "threads=1"
     SnapshotStream stream; //!< checkpoints at the scenario cadence
     ServingReport report;  //!< end-of-run totals (serving lanes)
+
+    /** Attribution-conservation findings from the run's every-request
+     * sampler (serving lanes; always empty for synthesized planner
+     * streams). Non-empty findings fail the lane. */
+    std::vector<std::string> traceViolations;
 };
 
 /**
@@ -116,8 +121,9 @@ struct LaneOutcome
     std::vector<std::string> refViolations;  //!< invariant findings
     std::vector<std::string> candViolations; //!< invariant findings
 
-    /** True when the streams were identical and every invariant
-     * held on both sides. */
+    /** True when the streams were identical and every invariant —
+     * conservation over snapshots and attribution conservation at
+     * each sampled retirement — held on both sides. */
     bool passed() const
     {
         return diff.identical() && refViolations.empty() &&

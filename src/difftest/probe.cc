@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/error.hh"
+#include "obs/req_trace.hh"
 
 namespace laer
 {
@@ -29,15 +30,42 @@ SnapshotStream::has(std::size_t index, const std::string &name) const
     return false;
 }
 
+namespace
+{
+
+/** difftest_main's campaign sinks; inert until set (see probe.hh). */
+CaptureObservability g_capture_obs;
+
+} // namespace
+
+void
+setCaptureObservability(CaptureObservability sinks)
+{
+    g_capture_obs = std::move(sinks);
+}
+
 RunCapture
 captureServingRun(const Cluster &cluster, ServingConfig config,
-                  Seconds interval, const ControlLoopConfig *loop)
+                  Seconds interval, const ControlLoopConfig *loop,
+                  const std::string &label)
 {
     LAER_CHECK(interval > 0.0,
                "captureServingRun needs a positive snapshot interval");
     MetricsRegistry registry;
     config.metricsRegistry = &registry;
     config.snapshotInterval = interval;
+    if (g_capture_obs.trace != nullptr && !label.empty()) {
+        config.trace = g_capture_obs.trace;
+        config.obsLabel = label;
+    }
+
+    // Sample every request, so each retirement's additive latency
+    // decomposition is checked against the measured TTFT/E2E and any
+    // conservation failure surfaces as a capture finding.
+    ReqTraceConfig trace_config;
+    trace_config.sampleEvery = 1;
+    ReqTraceRecorder req_trace(trace_config);
+    config.reqTrace = &req_trace;
 
     RunCapture capture;
     ServingSimulator sim(cluster, config);
@@ -48,6 +76,9 @@ captureServingRun(const Cluster &cluster, ServingConfig config,
         capture.report = sim.run();
     }
     capture.stream.snapshots = registry.snapshots();
+    capture.traceViolations = req_trace.violations();
+    if (!g_capture_obs.metricsPath.empty() && !label.empty())
+        registry.appendJsonlFile(g_capture_obs.metricsPath, label);
     return capture;
 }
 

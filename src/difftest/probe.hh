@@ -75,6 +75,12 @@ struct RunCapture
 {
     ServingReport report;
     SnapshotStream stream;
+
+    /** Attribution-conservation findings from the every-request
+     * sampler attached to the run: one line per retired request whose
+     * latency components failed to re-sum to the measured TTFT/E2E
+     * (see obs/req_trace.hh). Empty on a healthy run. */
+    std::vector<std::string> traceViolations;
 };
 
 /**
@@ -82,8 +88,11 @@ struct RunCapture
  * attached and return the report plus the captured stream.
  *
  * The run's `metricsRegistry`/`snapshotInterval` are overridden with
- * a capture-local registry — observability is write-only by contract,
- * so attaching the probe cannot change a single simulated number.
+ * a capture-local registry, and a capture-local ReqTraceRecorder
+ * sampling every request is attached so each retirement's additive
+ * latency decomposition is checked against the measured TTFT/E2E —
+ * observability is write-only by contract, so attaching either probe
+ * cannot change a single simulated number.
  *
  * @param cluster   Topology to run on.
  * @param config    Scenario configuration (copied; the registry and
@@ -96,7 +105,25 @@ struct RunCapture
  */
 RunCapture captureServingRun(const Cluster &cluster,
                              ServingConfig config, Seconds interval,
-                             const ControlLoopConfig *loop = nullptr);
+                             const ControlLoopConfig *loop = nullptr,
+                             const std::string &label = std::string());
+
+/**
+ * Process-global observability sinks for captured serving runs
+ * (difftest_main `--trace-out` / `--metrics-out`). When `trace` is
+ * non-null, every labelled capture emits its Perfetto tracks under
+ * "<label>/"; when `metricsPath` is non-empty, every labelled capture
+ * appends its checkpoint snapshots to that file as JSONL keyed by the
+ * label. Observability stays write-only by contract, so the captured
+ * streams and reports are bit-identical with or without sinks. Set
+ * once before the campaign; not thread-safe.
+ */
+struct CaptureObservability
+{
+    TraceRecorder *trace = nullptr; //!< shared recorder; null = off
+    std::string metricsPath;        //!< JSONL sink; empty = off
+};
+void setCaptureObservability(CaptureObservability sinks);
 
 /** Facts the invariant checker needs about the run's topology. */
 struct InvariantContext

@@ -1,0 +1,203 @@
+#include "obs/attribution.hh"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "core/error.hh"
+
+namespace laer
+{
+
+const char *
+attrComponentName(AttrComponent component)
+{
+    switch (component) {
+      case AttrComponent::QueueWait:
+        return "queue_wait";
+      case AttrComponent::PrefillCompute:
+        return "prefill_compute";
+      case AttrComponent::PreemptRecovery:
+        return "preempt_recovery";
+      case AttrComponent::RetunePause:
+        return "retune_pause";
+      case AttrComponent::KvTransfer:
+        return "kv_transfer";
+      case AttrComponent::TransferStall:
+        return "transfer_stall";
+      case AttrComponent::DecodeResidency:
+        return "decode_residency";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Canonical left-to-right rounded sum with queue_wait replaced by
+ * `residual`. This is THE reconstruction the invariant is stated
+ * over; finalize() and canonicalSum() must agree on it. */
+double
+reconstruct(const std::array<double, kNumAttrComponents> &c,
+            double residual)
+{
+    double sum = residual; // QueueWait is index 0, summed first
+    for (int i = 1; i < kNumAttrComponents; ++i)
+        sum += c[i];
+    return sum;
+}
+
+/** Distance from |x| to the next representable magnitude — the
+ * smallest step that can move a rounded sum in x's binade. */
+double
+ulpOf(double x)
+{
+    const double ax = std::fabs(x);
+    if (ax == 0.0)
+        return std::numeric_limits<double>::denorm_min();
+    return std::nextafter(ax, std::numeric_limits<double>::infinity()) -
+           ax;
+}
+
+/**
+ * Find a residual whose canonical reconstruction reproduces
+ * `measured` bit-exactly. Newton with unit slope (residual +=
+ * measured - reconstruction) lands within an ULP in one step; the
+ * remaining gap, when any, is a round-to-even parity mismatch, so the
+ * fallback sweeps the residual in the ULP quanta of every value in
+ * the sum — each quantum perturbs the sub-ULP remainder at a
+ * different summation stage, and one of them shifts it off the
+ * halfway point whenever a solution exists.
+ * @return true and the solving residual, or false and the best
+ *         Newton iterate.
+ */
+bool
+solveResidual(const std::array<double, kNumAttrComponents> &c,
+              double measured, double &residual)
+{
+    double others = 0.0;
+    for (int i = 1; i < kNumAttrComponents; ++i)
+        others += c[i];
+    const double guess = measured - others;
+    double r = guess;
+    for (int iter = 0; iter < 8; ++iter) {
+        const double recon = reconstruct(c, r);
+        if (recon == measured) {
+            residual = r;
+            return true;
+        }
+        const double corrected = r + (measured - recon);
+        if (corrected == r)
+            break;
+        r = corrected;
+    }
+    double quanta[kNumAttrComponents + 1];
+    int num_quanta = 0;
+    quanta[num_quanta++] = ulpOf(measured);
+    quanta[num_quanta++] = ulpOf(guess);
+    for (int i = 1; i < kNumAttrComponents; ++i)
+        if (c[i] != 0.0)
+            quanta[num_quanta++] = ulpOf(c[i]);
+    const double bases[2] = {guess, r};
+    for (const double base : bases)
+        for (int qi = 0; qi < num_quanta; ++qi)
+            for (int k = -16; k <= 16; ++k) {
+                const double candidate = base + k * quanta[qi];
+                if (reconstruct(c, candidate) == measured) {
+                    residual = candidate;
+                    return true;
+                }
+            }
+    residual = r;
+    return false;
+}
+
+} // namespace
+
+double
+AttrBreakdown::canonicalSum() const
+{
+    return reconstruct(components,
+                       components[static_cast<int>(
+                           AttrComponent::QueueWait)]);
+}
+
+void
+AttributionBuilder::add(AttrComponent component, Seconds seconds,
+                        bool pre_first_token)
+{
+    LAER_CHECK(component != AttrComponent::QueueWait,
+               "queue_wait is the constructed residual; it cannot be "
+               "accumulated directly");
+    LAER_CHECK(std::isfinite(seconds) && seconds >= 0.0,
+               "component time must be finite and non-negative, got "
+                   << seconds);
+    const int i = static_cast<int>(component);
+    e2e_[i] += seconds;
+    if (pre_first_token)
+        ttft_[i] += seconds;
+}
+
+double
+AttributionBuilder::accumulated(AttrComponent component) const
+{
+    return e2e_[static_cast<int>(component)];
+}
+
+AttrBreakdown
+AttributionBuilder::finalize(Seconds measured, bool ttft_side) const
+{
+    AttrBreakdown out;
+    out.components = ttft_side ? ttft_ : e2e_;
+    out.measured = measured;
+
+    double residual = 0.0;
+    bool exact = solveResidual(out.components, measured, residual);
+
+    // No residual alone may be able to reproduce `measured`: when a
+    // component's grid is exactly half the result's ULP, the sub-ULP
+    // remainder sits permanently on a round-to-even halfway point and
+    // the reconstruction only ever produces even-mantissa sums. Then
+    // redistribute one ULP of a directly-measured component — a
+    // perturbation below that component's own measurement rounding —
+    // which shifts the remainder off the halfway point.
+    for (int i = 1; i < kNumAttrComponents && !exact; ++i) {
+        if (out.components[i] == 0.0)
+            continue;
+        const double quantum = ulpOf(out.components[i]);
+        for (const double delta : {quantum, -quantum}) {
+            std::array<double, kNumAttrComponents> trial =
+                out.components;
+            trial[i] += delta;
+            if (trial[i] < 0.0)
+                continue;
+            double nudged = 0.0;
+            if (solveResidual(trial, measured, nudged)) {
+                out.components = trial;
+                residual = nudged;
+                exact = true;
+                break;
+            }
+        }
+    }
+    out.components[static_cast<int>(AttrComponent::QueueWait)] =
+        residual;
+    out.exact = exact;
+    return out;
+}
+
+std::string
+formatBreakdown(const AttrBreakdown &b)
+{
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << "measured=" << b.measured;
+    for (int i = 0; i < kNumAttrComponents; ++i)
+        oss << " "
+            << attrComponentName(static_cast<AttrComponent>(i)) << "="
+            << b.components[i];
+    oss << " exact=" << (b.exact ? "yes" : "no");
+    return oss.str();
+}
+
+} // namespace laer

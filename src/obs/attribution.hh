@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Exact additive latency attribution for serving requests.
+ *
+ * The idiom is ECM-style decomposition: every measured latency is
+ * the *exact* sum of named causes, so an SLO miss is attributable,
+ * not just counted. A request's end-to-end latency splits into seven
+ * components:
+ *
+ *  - queue_wait        time not accounted to any other component
+ *                      (waiting in an admission queue, drained and
+ *                      re-homed, blocked behind a full batch);
+ *  - prefill_compute   chunked-prefill step residency (Sarathi
+ *                      chunks), excluding replay after preemption;
+ *  - preempt_recovery  preemption replay compute (recompute mode)
+ *                      plus swap offload/restore wire time charged to
+ *                      steps the request was resident in (swap mode);
+ *  - retune_pause      expert-migration pause share of resident
+ *                      steps (the planner's retune cost);
+ *  - kv_transfer       prefill->decode KV wire time (disaggregated
+ *                      pools only);
+ *  - transfer_stall    time a migrated context waited at the decode
+ *                      pool's admission door after the wire finished;
+ *  - decode_residency  decode step residency.
+ *
+ * The invariant — checked bit-exactly on every retirement — is that
+ * re-summing the components in the fixed canonical order (queue_wait
+ * first, then the enum order above) under IEEE-754 double rounding
+ * reproduces the measured latency exactly:
+ *
+ *     fl(...fl(fl(q + c1) + c2)... + c7) == measured
+ *
+ * queue_wait is *constructed* as the residual `measured - sum(rest)`
+ * and then nudged by ULPs until the canonical reconstruction lands on
+ * the measured bits (AttributionBuilder::finalize). Monotonicity of
+ * rounded addition in one argument guarantees the nudge loop
+ * converges whenever any representable residual reproduces the
+ * measurement; a failure to converge is reported as a conservation
+ * violation, never silently absorbed. The same construction applies
+ * twice per request: once over the pre-first-token prefix (TTFT) and
+ * once over the whole lifetime (E2E).
+ */
+
+#ifndef LAER_OBS_ATTRIBUTION_HH
+#define LAER_OBS_ATTRIBUTION_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/types.hh"
+
+namespace laer
+{
+
+/** Latency components, in canonical summation order (queue_wait is
+ * always summed first as the constructed residual). */
+enum class AttrComponent
+{
+    QueueWait = 0,
+    PrefillCompute,
+    PreemptRecovery,
+    RetunePause,
+    KvTransfer,
+    TransferStall,
+    DecodeResidency,
+};
+
+/** Number of AttrComponent values. */
+constexpr int kNumAttrComponents = 7;
+
+/** Stable snake_case name ("queue_wait", ...) for reports and trace
+ * slices. */
+const char *attrComponentName(AttrComponent component);
+
+/** One exact decomposition: component seconds whose canonical-order
+ * sum reproduces `measured` bit-for-bit when `exact` is true. */
+struct AttrBreakdown
+{
+    std::array<double, kNumAttrComponents> components{};
+    double measured = 0.0; //!< the latency being decomposed
+    bool exact = false;    //!< canonical re-sum == measured, bitwise
+
+    double operator[](AttrComponent c) const
+    {
+        return components[static_cast<int>(c)];
+    }
+
+    /** Left-to-right canonical-order sum of components — equals
+     * `measured` exactly when `exact`. */
+    double canonicalSum() const;
+};
+
+/**
+ * Accumulates measured component time for one request and finalises
+ * it into exact TTFT and E2E breakdowns.
+ *
+ * add() folds directly-measured time (step residency shares, KV wire
+ * time, stalls) into the non-residual components; queue_wait is never
+ * added directly. finalize() constructs queue_wait as the residual
+ * against the measured latency and ULP-adjusts it until the canonical
+ * reconstruction is bit-exact (see file comment).
+ */
+class AttributionBuilder
+{
+  public:
+    /** Fold `seconds` (>= 0) into `component`; `pre_first_token`
+     * additionally credits the TTFT-side accumulator. QueueWait is
+     * rejected (it is the constructed residual). */
+    void add(AttrComponent component, Seconds seconds,
+             bool pre_first_token);
+
+    /** Directly-accumulated (non-residual) seconds so far, E2E side. */
+    double accumulated(AttrComponent component) const;
+
+    /**
+     * Construct the exact breakdown for one side.
+     * @param measured        the latency to decompose (>= 0);
+     * @param ttft_side       decompose the pre-first-token prefix
+     *                        instead of the full lifetime;
+     * @return breakdown with queue_wait residual; `exact` is false
+     *         only if no representable residual reproduces `measured`
+     *         (reported upstream as a conservation violation).
+     */
+    AttrBreakdown finalize(Seconds measured, bool ttft_side) const;
+
+  private:
+    std::array<double, kNumAttrComponents> e2e_{};
+    std::array<double, kNumAttrComponents> ttft_{};
+};
+
+/** Human-readable one-line summary ("queue_wait=1.2ms prefill=...")
+ * for logs and violation messages. */
+std::string formatBreakdown(const AttrBreakdown &b);
+
+} // namespace laer
+
+#endif // LAER_OBS_ATTRIBUTION_HH

@@ -24,6 +24,7 @@
 #define LAER_OBS_OBS_HH
 
 #include "obs/metrics.hh"
+#include "obs/req_trace.hh"
 #include "obs/trace.hh"
 
 #ifdef LAER_OBS_DISABLED
@@ -33,6 +34,8 @@
 #define LAER_METRIC_COUNT(reg, name, delta) ((void)0)
 #define LAER_METRIC_GAUGE(reg, name, value) ((void)0)
 #define LAER_METRIC_OBSERVE(reg, name, value) ((void)0)
+#define LAER_REQ_SAMPLED(rt, id) false
+#define LAER_REQ_EVENT(rt, call) ((void)0)
 
 #else
 
@@ -70,6 +73,20 @@
     do {                                                              \
         if (reg)                                                      \
             (reg)->histogram(name).observe(value);                    \
+    } while (0)
+
+/** True when a ReqTraceRecorder is attached and samples `id`; the
+ * whole expression (and any block it guards) folds to `false` under
+ * LAER_OBS_DISABLED. */
+#define LAER_REQ_SAMPLED(rt, id) ((rt) != nullptr && (rt)->wants(id))
+
+/** Invoke a ReqTraceRecorder member (`call` is e.g.
+ * `onPreempt(id, now, swap)`) when `rt` is attached. Callers that
+ * need the sampling test too go through LAER_REQ_SAMPLED first. */
+#define LAER_REQ_EVENT(rt, call)                                      \
+    do {                                                              \
+        if (rt)                                                       \
+            (rt)->call;                                               \
     } while (0)
 
 #endif // LAER_OBS_DISABLED

@@ -166,6 +166,27 @@ TraceRecorder::instant(int track_id, const std::string &name,
 }
 
 void
+TraceRecorder::flow(int track_id, char phase, const std::string &name,
+                    const std::string &category, Seconds time,
+                    std::int64_t flow_id)
+{
+    LAER_CHECK(track_id >= 0 &&
+                   track_id < static_cast<int>(names_.size()),
+               "flow on unknown track " << track_id);
+    LAER_CHECK(phase == 's' || phase == 't' || phase == 'f',
+               "flow phase must be 's', 't' or 'f'");
+    Event e;
+    e.track = track_id;
+    e.flow = phase;
+    e.tsUs = time * 1e6;
+    e.flowId = flow_id;
+    e.name = name;
+    e.category = category;
+    events_.push_back(std::move(e));
+    ++flows_;
+}
+
+void
 TraceRecorder::write(std::ostream &os) const
 {
     // Sort indices, not events: write() is const and may be called
@@ -198,12 +219,17 @@ TraceRecorder::write(std::ostream &os) const
     for (const std::size_t i : order) {
         const Event &e = events_[i];
         comma();
+        const char ph = e.flow != 0 ? e.flow : (e.span ? 'X' : 'i');
         os << "{\"name\":\"" << jsonEscape(e.name) << "\",\"cat\":\""
-           << jsonEscape(e.category) << "\",\"ph\":\""
-           << (e.span ? "X" : "i") << "\",\"ts\":" << jsonNumber(e.tsUs);
+           << jsonEscape(e.category) << "\",\"ph\":\"" << ph
+           << "\",\"ts\":" << jsonNumber(e.tsUs);
         if (e.span)
             os << ",\"dur\":" << jsonNumber(e.durUs);
-        else
+        else if (e.flow != 0) {
+            os << ",\"id\":" << e.flowId;
+            if (e.flow != 's')
+                os << ",\"bp\":\"e\""; // bind to enclosing slice
+        } else
             os << ",\"s\":\"t\""; // thread-scoped instant
         os << ",\"pid\":0,\"tid\":" << e.track;
         if (!e.argsJson.empty())

@@ -19,7 +19,12 @@
  *    `ph:"M"` thread_name metadata event;
  *  - span()    -> `ph:"X"` complete events, ts/dur in microseconds of
  *    SIMULATED time (1 sim second = 1e6 trace us);
- *  - instant() -> `ph:"i"` thread-scoped instant events.
+ *  - instant() -> `ph:"i"` thread-scoped instant events;
+ *  - flow()    -> `ph:"s"/"t"/"f"` flow events that draw arrows
+ *    between slices on different tracks (binding is by enclosing
+ *    slice; "t"/"f" carry `bp:"e"`). The per-request lifecycle
+ *    recorder (obs/req_trace.hh) uses one flow per sampled request,
+ *    flow id = request id, to follow it across engine tracks.
  *
  * Events may be recorded out of time order (e.g. a KV-transfer span
  * starts at a prefill finish that predates the current clock);
@@ -85,11 +90,26 @@ class TraceRecorder
                  const std::string &category, Seconds time,
                  std::vector<TraceArg> args = {});
 
-    /** Events recorded so far (spans + instants). */
+    /**
+     * Record a flow event.
+     * @param phase    's' (start), 't' (step) or 'f' (finish); all
+     *                 events of one flow must share name, category
+     *                 and flow_id.
+     * @param flow_id  Ties the arrow chain together (e.g. request
+     *                 id).
+     */
+    void flow(int track_id, char phase, const std::string &name,
+              const std::string &category, Seconds time,
+              std::int64_t flow_id);
+
+    /** Events recorded so far (spans + instants + flow events). */
     std::size_t eventCount() const { return events_.size(); }
 
     /** Spans recorded so far. */
     std::size_t spanCount() const { return spans_; }
+
+    /** Flow events recorded so far. */
+    std::size_t flowCount() const { return flows_; }
 
     /** Tracks created so far. */
     int trackCount() const { return static_cast<int>(names_.size()); }
@@ -110,9 +130,11 @@ class TraceRecorder
     struct Event
     {
         int track = 0;
-        bool span = false;  //!< "X" when true, "i" otherwise
+        bool span = false;  //!< "X" when true, "i"/flow otherwise
+        char flow = 0;      //!< 0, or 's'/'t'/'f' for flow events
         double tsUs = 0.0;  //!< simulated microseconds
         double durUs = 0.0; //!< spans only
+        std::int64_t flowId = 0; //!< flow events only
         std::string name;
         std::string category;
         std::string argsJson; //!< "" or a full {...} object
@@ -122,6 +144,7 @@ class TraceRecorder
     std::unordered_map<std::string, int> ids_;
     std::vector<Event> events_;
     std::size_t spans_ = 0;
+    std::size_t flows_ = 0;
 };
 
 } // namespace laer

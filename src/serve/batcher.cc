@@ -47,7 +47,8 @@ BatchPlan::decodeTokens() const
 }
 
 ContinuousBatcher::ContinuousBatcher(const BatcherConfig &config)
-    : config_(config), waiting_(config.numSloClasses)
+    : config_(config), waiting_(config.numSloClasses),
+      preemptionsByClass_(config.numSloClasses, 0)
 {
     LAER_CHECK(config_.tokenBudget >= 1, "token budget must be positive");
     LAER_CHECK(config_.prefillChunk >= 1,
@@ -177,8 +178,10 @@ ContinuousBatcher::preempt(int index)
         victim.prefillDone = 0;
     }
     ++victim.preemptions;
-    preemptedLog_.push_back(victim.sloClass);
+    preemptedLog_.push_back(
+        PreemptionRecord{victim.sloClass, victim.id});
     ++totalPreemptions_;
+    ++preemptionsByClass_[victim.sloClass];
     // Front of the class queue: a preempted request resumes before
     // fresh arrivals of its class. Victims are evicted youngest-first,
     // so successive push_fronts restore admission order among them.
@@ -421,11 +424,22 @@ ContinuousBatcher::takeFinished()
     return out;
 }
 
+std::vector<PreemptionRecord>
+ContinuousBatcher::takePreempted()
+{
+    std::vector<PreemptionRecord> out;
+    out.swap(preemptedLog_);
+    return out;
+}
+
 std::vector<int>
 ContinuousBatcher::takePreemptedClasses()
 {
     std::vector<int> out;
-    out.swap(preemptedLog_);
+    out.reserve(preemptedLog_.size());
+    for (const PreemptionRecord &p : preemptedLog_)
+        out.push_back(p.sloClass);
+    preemptedLog_.clear();
     return out;
 }
 

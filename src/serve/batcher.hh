@@ -105,6 +105,13 @@ struct BatchEntry
     TokenCount decodeTokens = 0;  //!< output tokens produced (0 or 1)
 };
 
+/** One eviction event, in eviction order. */
+struct PreemptionRecord
+{
+    int sloClass = 0;
+    int requestId = 0;
+};
+
 /** The work of one engine step. */
 struct BatchPlan
 {
@@ -181,6 +188,13 @@ class ContinuousBatcher
      *         preemptions.
      */
     std::vector<Request> drainAll();
+
+    /**
+     * Drain the preemptions since the last call, in eviction order
+     * (one record per event, carrying class AND request id — the
+     * request-level trace needs to know WHO was evicted).
+     */
+    std::vector<PreemptionRecord> takePreempted();
 
     /**
      * Drain the SLO classes of preemptions since the last call, in
@@ -266,6 +280,15 @@ class ContinuousBatcher
     /** Recompute-style evictions since construction. */
     std::int64_t totalPreemptions() const { return totalPreemptions_; }
 
+    /** Evictions since construction, per SLO class (indexed by class
+     * id, always numSloClasses long). Unlike the drained preemption
+     * log these survive until the batcher itself is destroyed, so the
+     * simulator can carry them across engine rebuilds. */
+    const std::vector<std::int64_t> &preemptionsByClass() const
+    {
+        return preemptionsByClass_;
+    }
+
     /** Waiting requests moved to running since construction. Counts
      * every admission event, so a preempted-then-readmitted request
      * contributes more than once. */
@@ -296,8 +319,9 @@ class ContinuousBatcher
     std::vector<std::deque<Request>> waiting_; //!< FIFO per SLO class
     std::deque<Request> running_;              //!< admission order
     std::vector<Request> finished_;
-    std::vector<int> preemptedLog_; //!< classes since last drain
+    std::vector<PreemptionRecord> preemptedLog_; //!< since last drain
     std::int64_t totalPreemptions_ = 0;
+    std::vector<std::int64_t> preemptionsByClass_; //!< per class id
     std::int64_t totalAdmissions_ = 0;
     bool admissionPaused_ = false;
     Bytes swapOutBytes_ = 0; //!< host offload since last drain

@@ -218,6 +218,13 @@ class ServingEngine
         return batcher_.takeFinished();
     }
 
+    /** Drain preemption records (class + request id) since the last
+     * call, in eviction order. */
+    std::vector<PreemptionRecord> takePreempted()
+    {
+        return batcher_.takePreempted();
+    }
+
     /** Drain SLO classes of preemptions since the last call. */
     std::vector<int> takePreemptedClasses()
     {

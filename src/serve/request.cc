@@ -95,6 +95,57 @@ ServingMetrics::recordKvUtilization(double utilization)
         kvUtilStream_.add(utilization);
 }
 
+void
+ServingMetrics::recordAttribution(int slo_class,
+                                  const AttrBreakdown &e2e)
+{
+    LAER_CHECK(slo_class >= 0, "negative SLO class");
+    if (static_cast<std::size_t>(slo_class) >= attr_.size())
+        attr_.resize(slo_class + 1);
+    auto &per_class = attr_[slo_class];
+    for (int i = 0; i < kNumAttrComponents; ++i) {
+        AttrAgg &agg = per_class[i];
+        const double x = e2e.components[i];
+        if (mode_ == MetricsMemoryMode::Exact)
+            agg.samples.push_back(x);
+        else
+            agg.stream.add(x);
+        ++agg.count;
+        agg.sum += x;
+        if (agg.count == 1 || x > agg.max)
+            agg.max = x;
+    }
+}
+
+std::vector<std::array<AttributionComponentStats, kNumAttrComponents>>
+ServingMetrics::attributionByClass() const
+{
+    std::vector<std::array<AttributionComponentStats,
+                           kNumAttrComponents>>
+        out(attr_.size());
+    for (std::size_t c = 0; c < attr_.size(); ++c) {
+        for (int i = 0; i < kNumAttrComponents; ++i) {
+            const AttrAgg &agg = attr_[c][i];
+            AttributionComponentStats &stats = out[c][i];
+            stats.count = agg.count;
+            if (agg.count == 0)
+                continue;
+            stats.mean = agg.sum / static_cast<double>(agg.count);
+            stats.max = agg.max;
+            if (mode_ == MetricsMemoryMode::Exact) {
+                stats.p50 = percentile(agg.samples, 50.0);
+                stats.p95 = percentile(agg.samples, 95.0);
+                stats.p99 = percentile(agg.samples, 99.0);
+            } else {
+                stats.p50 = agg.stream.quantile(50.0);
+                stats.p95 = agg.stream.quantile(95.0);
+                stats.p99 = agg.stream.quantile(99.0);
+            }
+        }
+    }
+    return out;
+}
+
 std::int64_t
 ServingMetrics::totalPreemptions() const
 {

@@ -25,10 +25,12 @@
 #ifndef LAER_SERVE_REQUEST_HH
 #define LAER_SERVE_REQUEST_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "core/types.hh"
+#include "obs/attribution.hh"
 #include "obs/metrics.hh"
 
 namespace laer
@@ -108,6 +110,20 @@ enum class MetricsMemoryMode
     Streaming, //!< bounded memory; P² estimated percentiles
 };
 
+/** Summary of one latency component's distribution for one SLO
+ * class, aggregated from sampled-request attribution (see
+ * obs/attribution.hh). Percentiles are exact in
+ * MetricsMemoryMode::Exact and P² estimates in Streaming. */
+struct AttributionComponentStats
+{
+    std::int64_t count = 0; //!< sampled requests folded in
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+};
+
 /**
  * Accumulates completed requests and reports the latency/goodput
  * summary of a serving run. Goodput follows the SLO-attainment
@@ -115,6 +131,9 @@ enum class MetricsMemoryMode
  * their decode tokens. Under the KV-cache memory model the collector
  * additionally tracks preemption counts per SLO class and the
  * KV-pool utilization time series sampled once per engine step.
+ * When a ReqTraceRecorder is attached to the run, the exact E2E
+ * component breakdown of every sampled retirement is folded in per
+ * class via recordAttribution().
  */
 class ServingMetrics
 {
@@ -145,6 +164,23 @@ class ServingMetrics
      * @param utilization  reservedBytes / budgetBytes, in [0, 1].
      */
     void recordKvUtilization(double utilization);
+
+    /**
+     * Fold one sampled request's exact E2E component breakdown into
+     * the per-class aggregates. Exact mode stores every sample for
+     * exact percentiles; Streaming mode folds into P² estimators
+     * (bounded memory).
+     * @param slo_class  Class of the retired request (>= 0).
+     * @param e2e        Its breakdown from ReqTraceRecorder::retire().
+     */
+    void recordAttribution(int slo_class, const AttrBreakdown &e2e);
+
+    /** Per-class (index = class id) component summaries of the
+     * sampled-request attribution; empty when no sampled request
+     * retired (no recorder attached, or none finished). */
+    std::vector<std::array<AttributionComponentStats,
+                           kNumAttrComponents>>
+    attributionByClass() const;
 
     /** Preemptions recorded across all SLO classes. */
     std::int64_t totalPreemptions() const;
@@ -240,6 +276,19 @@ class ServingMetrics
     StreamingQuantiles tpotStream_;
     Accumulator kvUtilStream_;
     std::vector<std::int64_t> preemptionsByClass_;
+
+    /** One component's aggregate: exact samples or a P² stream,
+     * depending on mode_. */
+    struct AttrAgg
+    {
+        std::vector<double> samples; //!< Exact mode only
+        StreamingQuantiles stream;   //!< Streaming mode only
+        std::int64_t count = 0;
+        double sum = 0.0;
+        double max = 0.0;
+    };
+    /** Per class, per AttrComponent; grown lazily per class seen. */
+    std::vector<std::array<AttrAgg, kNumAttrComponents>> attr_;
 };
 
 } // namespace laer

@@ -705,6 +705,17 @@ ServingSimulator::retireEngineCounters(std::size_t i)
     replayRetuneMetrics(); // flush before the sample vector vanishes
     admissionsBase_ += engines_[i]->batcher().totalAdmissions();
     retiredRetunes_ += engines_[i]->retunes();
+    // Preemption counters follow the same carry: the batcher's
+    // per-class totals die with the engine, so fold them into the
+    // retired base before the rebuild (a down-then-up replica cycle
+    // with preemptions in flight must lose nothing).
+    retiredPreemptions_ += engines_[i]->batcher().totalPreemptions();
+    const std::vector<std::int64_t> &preempts =
+        engines_[i]->batcher().preemptionsByClass();
+    if (preempts.size() > retiredPreemptionsByClass_.size())
+        retiredPreemptionsByClass_.resize(preempts.size(), 0);
+    for (std::size_t c = 0; c < preempts.size(); ++c)
+        retiredPreemptionsByClass_[c] += preempts[c];
     for (const RetuneWallSample &sample : engines_[i]->retuneWall())
         retiredRetuneWall_.push_back(sample);
     retuneSeen_[i] = 0;
@@ -742,12 +753,20 @@ ServingSimulator::applyReconfig()
                           static_cast<int>(evicted.size())}});
         drainStart_[i] = -1.0;
         if (pending_.split) {
+            for (const Request &r : evicted)
+                if (LAER_REQ_SAMPLED(config_.reqTrace, r.id))
+                    LAER_REQ_EVENT(config_.reqTrace,
+                                   onRehome(r.id, now_, -1));
             pending_.held[i] = std::move(evicted);
         } else {
             for (const Request &r : evicted) {
                 const std::size_t target =
                     static_cast<std::size_t>(pickEngineForArrival());
                 engines_[target]->enqueue(r);
+                if (LAER_REQ_SAMPLED(config_.reqTrace, r.id))
+                    LAER_REQ_EVENT(config_.reqTrace,
+                                   onRehome(r.id, now_,
+                                            static_cast<int>(target)));
                 scheduleEngineWake(target);
             }
             pending_.rehomed += static_cast<int>(evicted.size());
@@ -778,8 +797,12 @@ ServingSimulator::applyReconfig()
             const Seconds d = loadDelayFor(slices_[i]);
             freeAt_[i] = now_ + d;
             delay = std::max(delay, d);
-            for (const Request &r : pending_.held[i])
+            for (const Request &r : pending_.held[i]) {
                 engines_[i]->enqueue(r);
+                if (LAER_REQ_SAMPLED(config_.reqTrace, r.id))
+                    LAER_REQ_EVENT(config_.reqTrace,
+                                   onRehome(r.id, now_, i));
+            }
             pending_.rehomed +=
                 static_cast<int>(pending_.held[i].size());
             scheduleEngineWake(static_cast<std::size_t>(i));
@@ -860,6 +883,12 @@ ServingSimulator::pumpArrivals()
                                      lookahead_.prefillTokens},
                             TraceArg{"decode", lookahead_.decodeTokens},
                             TraceArg{"class", lookahead_.sloClass}});
+        if (LAER_REQ_SAMPLED(config_.reqTrace, lookahead_.id))
+            LAER_REQ_EVENT(config_.reqTrace,
+                           onAdmit(lookahead_.id, lookahead_.sloClass,
+                                   lookahead_.arrival,
+                                   lookahead_.arrival,
+                                   static_cast<int>(target)));
         lookaheadValid_ = false;
     }
     scheduleArrivalWake();
@@ -876,6 +905,90 @@ ServingSimulator::recordCompletion(const Request &done)
             config_.metricsRegistry->histogram("serve.tpot_s")
                 .observe(done.tpot());
     }
+    retireSampledRequest(done);
+}
+
+void
+ServingSimulator::captureStepShares(const ServingEngine &engine,
+                                    const BatchPlan &plan,
+                                    const ServingStepResult &result,
+                                    int pool_index,
+                                    std::vector<ReqStepShare> &out) const
+{
+    const ReqTraceRecorder *rt = config_.reqTrace;
+    if (rt == nullptr)
+        return;
+    for (const BatchEntry &entry : plan.entries) {
+        if (!LAER_REQ_SAMPLED(rt, entry.requestId))
+            continue;
+        // Pre-commit state: prefill progress, the restoring flag and
+        // an unset first-token time still describe the step being
+        // priced, not its outcome.
+        const Request *r = engine.batcher().find(entry.requestId);
+        if (r == nullptr)
+            continue;
+        ReqStepShare share;
+        share.requestId = entry.requestId;
+        share.pool = pool_index;
+        share.start = result.start;
+        share.duration = result.duration;
+        share.retunePause = result.migration;
+        share.swapOverhead = result.swapTime;
+        if (entry.prefillTokens > 0)
+            share.computeAs = r->restoring
+                                  ? AttrComponent::PreemptRecovery
+                                  : AttrComponent::PrefillCompute;
+        else
+            share.computeAs = AttrComponent::DecodeResidency;
+        share.firstToken =
+            entry.prefillTokens > 0 && r->firstTokenTime < 0.0 &&
+            r->prefillDone + entry.prefillTokens >= r->prefillTarget();
+        out.push_back(share);
+    }
+}
+
+void
+ServingSimulator::replayStepTrace(
+    const std::vector<PreemptionRecord> &preempted,
+    Seconds preempt_time, const std::vector<ReqStepShare> &shares)
+{
+    ReqTraceRecorder *rt = config_.reqTrace;
+    if (rt == nullptr)
+        return;
+    const bool swap =
+        config_.batcher.preemptionMode == PreemptionMode::Swap;
+    for (const PreemptionRecord &p : preempted)
+        if (LAER_REQ_SAMPLED(rt, p.requestId))
+            LAER_REQ_EVENT(rt,
+                           onPreempt(p.requestId, preempt_time, swap));
+    for (const ReqStepShare &share : shares)
+        LAER_REQ_EVENT(rt, onStep(share));
+}
+
+void
+ServingSimulator::retireSampledRequest(const Request &done)
+{
+    ReqTraceRecorder *rt = config_.reqTrace;
+    if (!LAER_REQ_SAMPLED(rt, done.id))
+        return;
+    ReqRetireInfo info;
+    info.id = done.id;
+    info.firstTokenTime = done.firstTokenTime;
+    info.finishTime = done.finishTime;
+    info.decodeTokens = done.decodeTokens;
+    info.preemptions = done.preemptions;
+    info.sloTtft = config_.sloTtft;
+    ReqTraceRecorder::RetireContext ctx;
+    ctx.trace = config_.trace;
+    ctx.trackPrefix = obsPrefix();
+    std::vector<int> pool_tracks;
+    if (config_.trace != nullptr) {
+        for (std::size_t i = 0; i < engines_.size(); ++i)
+            pool_tracks.push_back(poolTrack(i));
+        ctx.poolTracks = &pool_tracks;
+    }
+    const RetiredAttribution attr = rt->retire(info, ctx);
+    metrics_.recordAttribution(done.sloClass, attr.e2e);
 }
 
 void
@@ -909,6 +1022,9 @@ ServingSimulator::harvestFinished(int pool_index)
                         "serve", r.finishTime, wire,
                         {TraceArg{"id", r.id}, TraceArg{"bytes", bytes},
                          TraceArg{"context", r.contextLength()}});
+        if (LAER_REQ_SAMPLED(config_.reqTrace, r.id))
+            LAER_REQ_EVENT(config_.reqTrace,
+                           onKvTransfer(r.id, r.finishTime, wire));
         PendingMigration m;
         m.readyAt = r.finishTime + wire;
         r.decodeTokens = decode_target;
@@ -949,6 +1065,10 @@ ServingSimulator::pumpMigrations()
                 m.request.contextLength()))
             break; // decode pool full: the context waits at the door
         transferStallSeconds_ += now_ - m.readyAt;
+        if (LAER_REQ_SAMPLED(config_.reqTrace, m.request.id))
+            LAER_REQ_EVENT(config_.reqTrace,
+                           onTransferStall(m.request.id, m.readyAt,
+                                           now_));
         decode.enqueue(m.request);
         migrations_.pop_front();
         scheduleEngineWake(1);
@@ -980,14 +1100,16 @@ ServingSimulator::runDueEngines()
         const BatchPlan plan = engine.planStep();
         // Planning is where KV preemption happens; account for it even
         // when the plan comes back empty.
-        const std::vector<int> preempted =
-            engine.takePreemptedClasses();
-        for (const int slo_class : preempted) {
-            metrics_.recordPreemption(slo_class);
+        const std::vector<PreemptionRecord> preempted =
+            engine.takePreempted();
+        for (const PreemptionRecord &p : preempted) {
+            metrics_.recordPreemption(p.sloClass);
             LAER_TRACE_INSTANT(config_.trace, poolTrack(i), "preempt",
                                "serve", now_,
-                               {TraceArg{"class", slo_class}});
+                               {TraceArg{"class", p.sloClass},
+                                TraceArg{"id", p.requestId}});
         }
+        replayStepTrace(preempted, now_, {});
         poolStats_[i].preemptions +=
             static_cast<std::int64_t>(preempted.size());
         if (plan.empty()) {
@@ -1018,8 +1140,12 @@ ServingSimulator::runDueEngines()
             metrics_.recordKvUtilization(res.kvUtilization);
             poolStats_[i].kvUtil.add(res.kvUtilization);
         }
+        std::vector<ReqStepShare> shares;
+        captureStepShares(engine, plan, res, static_cast<int>(i),
+                          shares);
         freeAt_[i] = now_ + res.duration;
         engine.commitStep(plan, freeAt_[i]);
+        replayStepTrace({}, now_, shares);
         ++poolStats_[i].steps;
         if (config_.trace != nullptr) {
             const char *kind =
@@ -1242,13 +1368,70 @@ ServingSimulator::stepWindow()
                         bins[static_cast<std::size_t>(i)],
                         buffers[static_cast<std::size_t>(i)]);
     };
+    const auto fanout_start = std::chrono::steady_clock::now();
     if (threadPool_ != nullptr)
         threadPool_->parallelFor(static_cast<int>(engines_.size()),
                                  body);
     else
         for (int i = 0; i < static_cast<int>(engines_.size()); ++i)
             body(i);
+    const auto fanout_end = std::chrono::steady_clock::now();
+    const double fanout_ms =
+        std::chrono::duration<double, std::milli>(fanout_end -
+                                                  fanout_start)
+            .count();
     mergeWindowBuffers(buffers);
+    const double merge_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - fanout_end)
+            .count();
+
+    // Windowed-core self-profile (ROADMAP open item 1: measure the
+    // fan-out before tuning it). Wall clock flows only INTO these
+    // accumulators — never back into simulated state — so the
+    // attached/unattached runs still price identically.
+    ++descoreWindows_;
+    descoreFanoutMs_ += fanout_ms;
+    descoreMergeMs_ += merge_ms;
+    std::int64_t window_steps = 0;
+    for (const WindowBuffer &buf : buffers) {
+        window_steps += static_cast<std::int64_t>(buf.steps.size());
+        descoreWorkerBusyMs_ += buf.wallMs;
+        descoreBarrierWaitMs_ += std::max(0.0, fanout_ms - buf.wallMs);
+    }
+    descoreSteps_ += window_steps;
+    if (config_.trace != nullptr) {
+        // Spans land on the simulated timeline (the window interval);
+        // the wall-time measurements ride along as args, the retune
+        // span idiom.
+        Seconds span_end = window_end;
+        if (span_end == kNever) {
+            span_end = now_;
+            for (const WindowBuffer &buf : buffers)
+                span_end = std::max(span_end, buf.freeAt);
+        }
+        const Seconds dur = std::max(0.0, span_end - now_);
+        config_.trace->span(
+            config_.trace->track(obsPrefix() + "descore"), "window",
+            "descore", now_, dur,
+            {TraceArg{"steps", static_cast<int>(window_steps)},
+             TraceArg{"fanout_ms", fanout_ms},
+             TraceArg{"merge_ms", merge_ms}});
+        for (std::size_t i = 0; i < buffers.size(); ++i) {
+            if (buffers[i].steps.empty())
+                continue;
+            config_.trace->span(
+                config_.trace->track(obsPrefix() + slices_[i].name +
+                                     "/window"),
+                "engine_window", "descore", now_, dur,
+                {TraceArg{"steps",
+                          static_cast<int>(buffers[i].steps.size())},
+                 TraceArg{"busy_ms", buffers[i].wallMs},
+                 TraceArg{"barrier_wait_ms",
+                          std::max(0.0,
+                                   fanout_ms - buffers[i].wallMs)}});
+        }
+    }
 
     if (window_end == kNever)
         // No barrier, no snapshot grid: the fan-out just ran the whole
@@ -1312,6 +1495,12 @@ ServingSimulator::binWindowArrivals(Seconds window_end)
                                      lookahead_.prefillTokens},
                             TraceArg{"decode", lookahead_.decodeTokens},
                             TraceArg{"class", lookahead_.sloClass}});
+        if (LAER_REQ_SAMPLED(config_.reqTrace, lookahead_.id))
+            LAER_REQ_EVENT(config_.reqTrace,
+                           onAdmit(lookahead_.id, lookahead_.sloClass,
+                                   lookahead_.arrival,
+                                   lookahead_.arrival,
+                                   static_cast<int>(target)));
         lookaheadValid_ = false;
     }
     // Keep the calendar coherent for a later serial fallback.
@@ -1325,6 +1514,7 @@ ServingSimulator::runEngineWindow(std::size_t i, Seconds window_end,
                                   WindowBuffer &buf)
 {
     ServingEngine &engine = *engines_[i];
+    const auto wall_start = std::chrono::steady_clock::now();
     buf.kvEnabled = engine.batcher().kvEnabled();
     Seconds free_at = freeAt_[i];
     // Earliest instant the engine can act; never before the window.
@@ -1358,7 +1548,7 @@ ServingSimulator::runEngineWindow(std::size_t i, Seconds window_end,
         // with every emission buffered instead of recorded.
         WindowStepRecord rec;
         const BatchPlan plan = engine.planStep();
-        rec.preemptedClasses = engine.takePreemptedClasses();
+        rec.preempted = engine.takePreempted();
         if (plan.empty()) {
             // Only back-pressure pauses admission, and back-pressure
             // is disaggregation-only — which the windowed core
@@ -1379,11 +1569,16 @@ ServingSimulator::runEngineWindow(std::size_t i, Seconds window_end,
             res = engine.executeStep(plan, clock);
         }
         res.pool = static_cast<int>(i);
-        res.preemptions =
-            static_cast<int>(rec.preemptedClasses.size());
+        res.preemptions = static_cast<int>(rec.preempted.size());
         if (buf.kvEnabled)
             res.kvUtilization = engine.batcher().kvUtilization();
         free_at = clock + res.duration;
+        // Share capture reads only this engine's pre-commit state and
+        // the recorder's pure sampling predicate, so it is safe on the
+        // worker; the merge replays the shares on the simulator
+        // thread.
+        captureStepShares(engine, plan, res, static_cast<int>(i),
+                          rec.shares);
         engine.commitStep(plan, free_at);
         rec.result = res;
         rec.completions = engine.takeFinished();
@@ -1396,6 +1591,9 @@ ServingSimulator::runEngineWindow(std::size_t i, Seconds window_end,
     while (next < arrivals.size())
         engine.enqueue(arrivals[next++]);
     buf.freeAt = free_at;
+    buf.wallMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - wall_start)
+                     .count();
 }
 
 void
@@ -1425,14 +1623,16 @@ ServingSimulator::mergeWindowBuffers(std::vector<WindowBuffer> &buffers)
             break;
         const WindowStepRecord &rec = buffers[b].steps[cursor[b]++];
         const ServingStepResult &res = rec.result;
-        for (const int slo_class : rec.preemptedClasses) {
-            metrics_.recordPreemption(slo_class);
+        for (const PreemptionRecord &p : rec.preempted) {
+            metrics_.recordPreemption(p.sloClass);
             LAER_TRACE_INSTANT(config_.trace, poolTrack(b), "preempt",
                                "serve", res.start,
-                               {TraceArg{"class", slo_class}});
+                               {TraceArg{"class", p.sloClass},
+                                TraceArg{"id", p.requestId}});
         }
         poolStats_[b].preemptions +=
-            static_cast<std::int64_t>(rec.preemptedClasses.size());
+            static_cast<std::int64_t>(rec.preempted.size());
+        replayStepTrace(rec.preempted, res.start, rec.shares);
         if (buffers[b].kvEnabled) {
             metrics_.recordKvUtilization(res.kvUtilization);
             poolStats_[b].kvUtil.add(res.kvUtilization);
@@ -1532,6 +1732,23 @@ ServingSimulator::finish()
             config_.metricsRegistry->gauge("profile.event_loop_ms")
                 .set(std::max(0.0, profStepMs_ - profExecMs_));
         }
+        if (desParallel_) {
+            // Windowed-core fan-out profile. profile.* is wall-clock
+            // noise the difftest layer ignores by default, so these
+            // are lane- and golden-safe.
+            MetricsRegistry &reg = *config_.metricsRegistry;
+            reg.gauge("profile.descore.windows")
+                .set(static_cast<double>(descoreWindows_));
+            reg.gauge("profile.descore.steps")
+                .set(static_cast<double>(descoreSteps_));
+            reg.gauge("profile.descore.fanout_ms")
+                .set(descoreFanoutMs_);
+            reg.gauge("profile.descore.worker_busy_ms")
+                .set(descoreWorkerBusyMs_);
+            reg.gauge("profile.descore.merge_ms").set(descoreMergeMs_);
+            reg.gauge("profile.descore.barrier_wait_ms")
+                .set(descoreBarrierWaitMs_);
+        }
         // A final snapshot at end-of-run, even when interval snapshots
         // are off, so --metrics-out always captures the run's totals.
         config_.metricsRegistry->recordSnapshot(now_);
@@ -1579,12 +1796,42 @@ ServingSimulator::buildReport() const
 
     for (const auto &engine : engines_)
         report.kvBudgetBytes += engine->batcher().kvBudgetBytes();
-    report.preemptions = metrics_.totalPreemptions();
-    report.preemptionsByClass.resize(config_.batcher.numSloClasses, 0);
-    for (int c = 0; c < config_.batcher.numSloClasses; ++c)
-        report.preemptionsByClass[c] = metrics_.preemptions(c);
+    // Preemption counts are engine-authoritative: live batcher
+    // counters plus the carry-over of rebuilt engines, the same carry
+    // discipline as report.retunes above. The latency collector sees
+    // the same events through the per-step drain, so the two paths
+    // must agree — the debug assert pins that identity (and with it,
+    // byte-identical reports).
+    std::int64_t preemptions = retiredPreemptions_;
+    std::vector<std::int64_t> by_class = retiredPreemptionsByClass_;
+    if (static_cast<int>(by_class.size()) <
+        config_.batcher.numSloClasses)
+        by_class.resize(config_.batcher.numSloClasses, 0);
+    for (const auto &engine : engines_) {
+        preemptions += engine->batcher().totalPreemptions();
+        const std::vector<std::int64_t> &pc =
+            engine->batcher().preemptionsByClass();
+        if (pc.size() > by_class.size())
+            by_class.resize(pc.size(), 0);
+        for (std::size_t c = 0; c < pc.size(); ++c)
+            by_class[c] += pc[c];
+    }
+#ifndef NDEBUG
+    LAER_ASSERT(preemptions == metrics_.totalPreemptions(),
+                "engine preemption counters disagree with the latency "
+                "collector");
+    for (std::size_t c = 0; c < by_class.size(); ++c)
+        LAER_ASSERT(by_class[c] ==
+                        metrics_.preemptions(static_cast<int>(c)),
+                    "per-class preemption counters disagree with the "
+                    "latency collector for class "
+                        << c);
+#endif
+    report.preemptions = preemptions;
+    report.preemptionsByClass = std::move(by_class);
     report.meanKvUtilization = metrics_.meanKvUtilization();
     report.peakKvUtilization = metrics_.peakKvUtilization();
+    report.attributionByClass = metrics_.attributionByClass();
 
     for (std::size_t i = 0; i < engines_.size(); ++i) {
         PoolReport pool;

@@ -177,6 +177,13 @@ struct ServingConfig
     /** Optional metrics registry fed by the run's counters, gauges and
      * histograms. Non-owning; the caller exports it after the run. */
     MetricsRegistry *metricsRegistry = nullptr;
+    /** Optional per-request lifecycle recorder (obs/req_trace.hh): a
+     * deterministic 1-in-N sample of requests gets an ordered event
+     * timeline, an exact additive TTFT/E2E attribution folded into
+     * ServingMetrics per class, Perfetto per-request tracks + flow
+     * events (when `trace` is also attached), and membership in the
+     * top-K SLO-miss report. Non-owning; write-only like the rest. */
+    ReqTraceRecorder *reqTrace = nullptr;
     /** Simulated seconds between CounterSnapshot recordings into
      * `metricsRegistry`; 0 records only the final snapshot. */
     Seconds snapshotInterval = 0.0;
@@ -288,6 +295,13 @@ struct ServingReport
     double profStepPricingMs = 0.0; //!< executeStep() minus the solver
     double profRetuneMs = 0.0;      //!< LAER solver wall time
     double profEventLoopMs = 0.0;   //!< step() wall outside pricing
+
+    /** Per-class latency-component summaries from sampled-request
+     * attribution (index = SLO class); empty unless a
+     * ReqTraceRecorder was attached and sampled retirements exist. */
+    std::vector<std::array<AttributionComponentStats,
+                           kNumAttrComponents>>
+        attributionByClass;
 };
 
 /**
@@ -495,8 +509,13 @@ class ServingSimulator
     struct WindowStepRecord
     {
         ServingStepResult result;
-        std::vector<int> preemptedClasses; //!< planStep() evictions
+        std::vector<PreemptionRecord> preempted; //!< planStep() evictions
         std::vector<Request> completions;  //!< harvested at commit
+        /** Sampled requests' residency shares of this step (empty
+         * unless a ReqTraceRecorder is attached); the merge replays
+         * them so the recorder only ever runs on the simulator
+         * thread. */
+        std::vector<ReqStepShare> shares;
     };
 
     /** Everything one engine emits while advancing through a window. */
@@ -505,6 +524,7 @@ class ServingSimulator
         std::vector<WindowStepRecord> steps;
         Seconds freeAt = 0.0;  //!< engine busy-until at window end
         double execMs = 0.0;   //!< wall inside executeStep (selfProfile)
+        double wallMs = 0.0;   //!< worker wall inside runEngineWindow
         bool kvEnabled = false;
     };
 
@@ -581,6 +601,29 @@ class ServingSimulator
     /** Accumulate a to-be-rebuilt engine's monotone counters so they
      * survive the rebuild, and reset its per-engine cursors. */
     void retireEngineCounters(std::size_t i);
+
+    // ---- per-request lifecycle tracing (obs/req_trace.hh) ----------
+
+    /** Collect the sampled requests' residency shares of one priced
+     * step (pre-commit batcher state decides replay vs fresh prefill
+     * and the first-token step). Touches only `engine` and the
+     * recorder's pure sampling predicate, so windowed-core workers
+     * may call it; no-op (empty out) when no recorder is attached. */
+    void captureStepShares(const ServingEngine &engine,
+                           const BatchPlan &plan,
+                           const ServingStepResult &result,
+                           int pool_index,
+                           std::vector<ReqStepShare> &out) const;
+
+    /** Feed preemption events + step shares to the recorder
+     * (simulator thread only). */
+    void replayStepTrace(const std::vector<PreemptionRecord> &preempted,
+                         Seconds preempt_time,
+                         const std::vector<ReqStepShare> &shares);
+
+    /** Retire a sampled completion: exact attribution, conservation
+     * check, per-class aggregation, Perfetto emission. */
+    void retireSampledRequest(const Request &done);
 
     /** Earliest future event (engine finish, arrival, transfer);
      * +infinity when the run has fully drained. O(log sources) off
@@ -659,9 +702,23 @@ class ServingSimulator
     int retiredRetunes_ = 0;              //!< retunes, rebuilt engines
     std::vector<RetuneWallSample> retiredRetuneWall_; //!< wall samples
                                           //!< of rebuilt engines
+    // Preemption counters carried across engine rebuilds (same
+    // pattern as retiredRetunes_): buildReport sums retired + live
+    // batcher counters, so a down-then-up cycle loses nothing.
+    std::int64_t retiredPreemptions_ = 0;
+    std::vector<std::int64_t> retiredPreemptionsByClass_;
     // Self-profiling accumulators (real milliseconds).
     double profExecMs_ = 0.0; //!< wall inside executeStep()
     double profStepMs_ = 0.0; //!< wall inside step()
+    // Windowed-core profiling (profile.descore.* gauges + trace
+    // spans; measured only when a registry/trace/selfProfile asks).
+    std::int64_t descoreWindows_ = 0;   //!< parallel windows advanced
+    std::int64_t descoreSteps_ = 0;     //!< engine steps inside them
+    double descoreFanoutMs_ = 0.0;      //!< wall across the fan-out
+    double descoreWorkerBusyMs_ = 0.0;  //!< sum of worker busy wall
+    double descoreMergeMs_ = 0.0;       //!< wall inside the merge
+    double descoreBarrierWaitMs_ = 0.0; //!< fan-out wall minus busy,
+                                        //!< summed over engines
 };
 
 } // namespace laer

@@ -381,5 +381,63 @@ TEST(CounterCarryOver, RetunesAndWallSamplesSurviveRebuilds)
               report.retunes);
 }
 
+TEST(CounterCarryOver, PreemptionCountsSurviveRebuilds)
+{
+    const Cluster cluster(2, 4, 300e9, 12.5e9, 212e12);
+    ServingConfig cfg;
+    cfg.model = mixtral8x7bE8K2();
+    cfg.capacity = 2;
+    cfg.simulatedLayers = 2;
+    cfg.retunePeriod = 8;
+    cfg.arrival.kind = ArrivalKind::Bursty;
+    cfg.arrival.ratePerSec = 40.0;
+    cfg.arrival.meanPrefillTokens = 256;
+    cfg.arrival.meanDecodeTokens = 32;
+    cfg.arrival.seed = 99;
+    cfg.arrival.numSloClasses = 2;
+    cfg.batcher.tokenBudget = 4096;
+    // A pool tight enough that preemptions are in flight when the
+    // replica drains.
+    cfg.batcher.kvBudgetBytes = 4000LL * kvBytesPerToken(cfg.model);
+    cfg.batcher.kvBytesPerToken = kvBytesPerToken(cfg.model);
+    cfg.batcher.kvBlockTokens = 16;
+    cfg.replicas.replicaDevices = 4;
+    cfg.replicas.initialReplicas = 2;
+    cfg.horizon = 4.0;
+    cfg.seed = 11;
+
+    ServingSimulator sim(cluster, cfg);
+    while (sim.now() < 1.0 && sim.step()) {
+    }
+    // Scale down: replica 1 drains and stops with its eviction
+    // counters intact, then the slot is rebuilt on scale-up — the
+    // same carry the report's retune counters get.
+    ASSERT_TRUE(sim.requestReplicas(1));
+    while ((sim.reconfigPending() ||
+            sim.engine(1).state() != EngineState::Stopped) &&
+           sim.step()) {
+    }
+    ASSERT_EQ(sim.engine(1).state(), EngineState::Stopped);
+
+    ASSERT_TRUE(sim.requestReplicas(2));
+    while (sim.step()) {
+    }
+    const ServingReport report = sim.finish();
+    ASSERT_GT(report.preemptions, 0)
+        << "no preemption in flight; the test needs a tighter pool";
+
+    // The report total is engine-authoritative: retired engines'
+    // evictions carry over the rebuild, and the per-class split
+    // re-sums to it.
+    std::int64_t by_class = 0;
+    for (const std::int64_t c : report.preemptionsByClass)
+        by_class += c;
+    EXPECT_EQ(by_class, report.preemptions);
+    std::int64_t live = 0;
+    for (int i = 0; i < sim.numEngines(); ++i)
+        live += sim.engine(i).batcher().totalPreemptions();
+    EXPECT_GE(report.preemptions, live);
+}
+
 } // namespace
 } // namespace laer

@@ -15,6 +15,10 @@
  *   --report-out=F  write the machine-readable campaign JSON to F
  *   --no-shrink     skip the shrink search on failures
  *   --list-lanes    print the lane catalog and exit
+ *   --trace-out=F   write one Chrome/Perfetto trace of every captured
+ *                   serving run, tracks keyed "s<seed>/<side>/..."
+ *   --metrics-out=F append every captured run's checkpoint snapshots
+ *                   as JSONL keyed by the same run label
  *
  * Cross-process golden files (difftest/golden.hh): the canonical
  * default-path scenario frozen to disk, so another process — a future
@@ -30,6 +34,7 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +42,7 @@
 #include "difftest/golden.hh"
 #include "difftest/lanes.hh"
 #include "difftest/scenario_gen.hh"
+#include "obs/trace.hh"
 
 using namespace laer;
 
@@ -96,7 +102,24 @@ main(int argc, char **argv)
     const CliArgs args(argc, argv,
                        {"seed", "runs", "lane", "report-out",
                         "no-shrink", "list-lanes", "record-golden",
-                        "check-golden"});
+                        "check-golden", "trace-out", "metrics-out"});
+
+    // Campaign observability: every captured serving run shares one
+    // trace recorder and one JSONL sink, keyed by scenario seed and
+    // lane side. Write-only, so replay verdicts are unaffected.
+    const std::string trace_out = args.get("trace-out");
+    const std::string metrics_out = args.get("metrics-out");
+    std::unique_ptr<TraceRecorder> trace;
+    CaptureObservability sinks;
+    if (!trace_out.empty()) {
+        trace = std::make_unique<TraceRecorder>();
+        sinks.trace = trace.get();
+    }
+    if (!metrics_out.empty()) {
+        std::ofstream(metrics_out, std::ios::trunc);
+        sinks.metricsPath = metrics_out;
+    }
+    setCaptureObservability(sinks);
 
     if (args.has("record-golden")) {
         std::ofstream out(args.get("record-golden"));
@@ -219,6 +242,10 @@ main(int argc, char **argv)
             writeOutcomeJson(out, failures[i]);
         }
         out << "]}\n";
+    }
+    if (trace) {
+        trace->writeFile(trace_out);
+        std::cout << "wrote " << trace_out << "\n";
     }
     return failures.empty() ? 0 : 1;
 }
