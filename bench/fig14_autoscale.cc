@@ -47,6 +47,7 @@
 #include "core/error.hh"
 #include "core/table.hh"
 #include "ctrl/control_loop.hh"
+#include "fault/fault.hh"
 #include "obs/obs.hh"
 #include "serve/serving_sim.hh"
 #include "topo/cluster.hh"
@@ -241,12 +242,13 @@ try {
     const laer::CliArgs args(argc, argv,
                              {"policy", "csv", "seed", "quick",
                               "trace-out", "metrics-out",
-                              "slo-report-out", "help"});
+                              "slo-report-out", "fault-plan", "help"});
     if (args.has("help")) {
         std::cout
             << "usage: fig14_autoscale [--policy=NAME[,NAME...]] "
                "[--csv] [--seed=N] [--quick] [--trace-out=FILE] "
-               "[--metrics-out=FILE] [--slo-report-out=FILE]\n"
+               "[--metrics-out=FILE] [--slo-report-out=FILE] "
+               "[--fault-plan=FILE]\n"
                "  --policy      run only the named configurations; "
                "names: Static8/8, AutoSplit, AutoReplica\n"
                "  --csv         emit tables as CSV\n"
@@ -258,7 +260,9 @@ try {
                "  --metrics-out append one JSONL counter snapshot per "
                "simulated second per run\n"
                "  --slo-report-out write one SLO-miss attribution "
-               "report per run (JSON array)\n";
+               "report per run (JSON array)\n"
+               "  --fault-plan  inject a parsed fault plan into every "
+               "run (docs/ROBUSTNESS.md; skips the acceptance gate)\n";
         return 0;
     }
     csv_output = args.has("csv");
@@ -273,6 +277,10 @@ try {
     if (!metrics_out.empty())
         std::ofstream(metrics_out, std::ios::trunc);
     laer::SloReportSink slo(args.get("slo-report-out"));
+    laer::FaultConfig fault_plan;
+    const bool faulted = !args.get("fault-plan").empty();
+    if (faulted)
+        fault_plan = laer::parseFaultPlanFile(args.get("fault-plan"));
     for (const std::string &name : policy_filter) {
         const bool known = name == variantName(Variant::StaticSplit) ||
                            name == variantName(Variant::AutoSplit) ||
@@ -312,6 +320,8 @@ try {
             if (!selected(variant))
                 continue;
             laer::ServingConfig cfg = servingConfig(variant, rate);
+            if (faulted)
+                cfg.faults = fault_plan;
             std::ostringstream label;
             label << variantName(variant) << "@" << rate;
             laer::MetricsRegistry registry;
@@ -374,7 +384,9 @@ try {
         recorder->writeFile(trace_out);
     slo.write();
 
-    if (quick || !policy_filter.empty())
+    // The peak/off-peak acceptance claim is a fault-free statement —
+    // under an injected plan the interesting output is the table.
+    if (quick || !policy_filter.empty() || faulted)
         return 0;
     const bool peak_win = auto_peak_good > static_peak_good;
     const bool offpeak_win = replica_low_devs < static_low_devs;

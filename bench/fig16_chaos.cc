@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Fig. 16 — chaos day: a diurnal load cycle under a fault storm, and
+ * the availability story the recovery machinery (src/fault/) buys.
+ *
+ * Three scenarios share one 8-node x 2-device cluster and one
+ * sinusoidal "day" of traffic:
+ *
+ *  - ReplicaStorm: two 8-device LAER replicas under a seeded MTBF
+ *    fault storm (fail-stop kills, each paired with a scripted repair
+ *    `mttr` later) driven by a threshold autoscaler control loop — so
+ *    a dead replica is rebuilt by whichever closes the outage first,
+ *    the scripted repair or the autoscaler's fault reconciliation.
+ *  - LinkFlap: the disaggregated 8/8 split while the prefill->decode
+ *    boundary link degrades, then dies and heals twice. In-flight KV
+ *    transfers across the dead link abort and retry after the heal.
+ *  - GrayFailure: one replica runs 2.5x slow for a stretch of the day
+ *    (straggler) while the other loses two devices — its KV pool
+ *    shrinks to the survivors' share and admission degrades
+ *    gracefully instead of aborting.
+ *
+ * The binary is a recovery-invariant gate, not just a table: it exits
+ * non-zero unless every scenario conserves requests
+ * (offered == completed + failed — nothing lost, nothing hung), the
+ * storm's outages all close (repairs > 0, bounded MTTR), the link
+ * scenario aborts and then retires every transfer it aborted, and
+ * goodput during degraded operation stays positive. CI runs
+ * `--quick`; the gates are identical there, only the day is shorter.
+ *
+ * Flags: `--quick` (short day for CI smoke), `--seed=N`,
+ * `--fault-plan=FILE` (replace the ReplicaStorm plan with a parsed
+ * plan file — see docs/ROBUSTNESS.md for the format), `--csv`,
+ * `--help`.
+ */
+
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cli.hh"
+#include "core/error.hh"
+#include "core/table.hh"
+#include "ctrl/control_loop.hh"
+#include "fault/fault.hh"
+#include "serve/serving_sim.hh"
+#include "topo/cluster.hh"
+
+namespace
+{
+
+bool csv_output = false;
+bool quick = false;
+std::uint64_t seed = 16;
+
+void
+emit(const laer::Table &table)
+{
+    if (csv_output)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+}
+
+double
+horizonSeconds()
+{
+    return quick ? 20.0 : 80.0;
+}
+
+/** The shared diurnal day; scenarios differ only in topology+faults. */
+laer::ServingConfig
+dayConfig()
+{
+    laer::ServingConfig cfg;
+    cfg.model = laer::mixtral8x7bE8K2();
+    cfg.capacity = 2;
+    cfg.simulatedLayers = 4;
+    cfg.horizon = horizonSeconds();
+    cfg.sloTtft = 0.5;
+
+    cfg.arrival.kind = laer::ArrivalKind::Diurnal;
+    cfg.arrival.ratePerSec = 35.0;
+    cfg.arrival.diurnalPeriod = quick ? 20.0 : 40.0;
+    cfg.arrival.diurnalAmplitude = 0.7;
+    cfg.arrival.meanPrefillTokens = 512;
+    cfg.arrival.meanDecodeTokens = 64;
+    cfg.arrival.seed = seed + 1;
+
+    cfg.batcher.tokenBudget = 16384;
+    cfg.batcher.prefillChunk = 1024;
+    cfg.hbmPerDevice = 24LL << 30;
+
+    cfg.routing.skew = 1.2;
+    cfg.routing.drift = 0.98;
+    cfg.routing.deviceJitter = 0.15;
+    cfg.retunePeriod = 16;
+    cfg.seed = seed;
+    return cfg;
+}
+
+struct ScenarioResult
+{
+    std::string name;
+    laer::ServingReport report;
+    std::vector<std::string> violations;
+};
+
+void
+requireConservation(ScenarioResult &r)
+{
+    const laer::ServingReport &rep = r.report;
+    if (rep.offered !=
+        rep.completed + rep.availability.requestsFailed) {
+        std::ostringstream oss;
+        oss << "request conservation broken: offered " << rep.offered
+            << " != completed " << rep.completed << " + failed "
+            << rep.availability.requestsFailed;
+        r.violations.push_back(oss.str());
+    }
+}
+
+void
+require(ScenarioResult &r, bool ok, const std::string &what)
+{
+    if (!ok)
+        r.violations.push_back(what);
+}
+
+/** Two LAER replicas under a seeded fail-stop storm + control loop. */
+ScenarioResult
+runReplicaStorm(const laer::Cluster &cluster,
+                const laer::FaultConfig *plan_override)
+{
+    ScenarioResult r;
+    r.name = "ReplicaStorm";
+    laer::ServingConfig cfg = dayConfig();
+    cfg.policy = laer::ServingPolicy::LaerServe;
+    cfg.replicas.replicaDevices = 8;
+    cfg.replicas.initialReplicas = 2;
+    if (plan_override != nullptr) {
+        cfg.faults = *plan_override;
+    } else {
+        // ~6 kills per day, each repaired 1 s later; the storm is a
+        // pure function of the seed, so a failing day replays exactly.
+        cfg.faults.mtbf = horizonSeconds() / 6.0;
+        cfg.faults.mttr = 1.0;
+        cfg.faults.seed = seed + 2;
+    }
+
+    laer::ServingSimulator sim(cluster, cfg);
+    laer::ControlLoopConfig loop_cfg;
+    loop_cfg.interval = 1.0;
+    loop_cfg.kind = laer::AutoscalerKind::ThresholdHysteresis;
+    loop_cfg.autoscaler.minReplicas = 1;
+    loop_cfg.autoscaler.maxReplicas = 2;
+    laer::ControlLoop loop(sim, loop_cfg);
+    r.report = loop.run();
+
+    requireConservation(r);
+    const laer::AvailabilityReport &a = r.report.availability;
+    require(r, a.faultsInjected > 0, "storm injected no faults");
+    require(r, a.repairs > 0, "no outage ever closed");
+    require(r, a.requestsRetried > 0,
+            "kills evicted no in-flight requests");
+    require(r, a.mttrMean > 0.0, "repairs closed with zero MTTR");
+    // Outages close at repair + spin-up (model state over the host
+    // link); a storm whose mean repair drifts past this bound means
+    // recovery is wedged, not slow.
+    require(r, a.mttrMean <= 8.0, "mean MTTR above 8 s bound");
+    require(r, r.report.completed > 0, "day completed nothing");
+    return r;
+}
+
+/** Disaggregated split under boundary-link degrade + two flaps. */
+ScenarioResult
+runLinkFlap(const laer::Cluster &cluster)
+{
+    ScenarioResult r;
+    r.name = "LinkFlap";
+    laer::ServingConfig cfg = dayConfig();
+    cfg.policy = laer::ServingPolicy::Disaggregated;
+    cfg.disagg.prefillDevices = 8;
+    const double h = horizonSeconds();
+    using laer::FaultKind;
+    cfg.faults.events.push_back(
+        {0.15 * h, FaultKind::LinkDegrade, 0, 3.0});
+    cfg.faults.events.push_back({0.30 * h, FaultKind::LinkUp, 0, 1.0});
+    cfg.faults.events.push_back({0.50 * h, FaultKind::LinkDown, 0, 1.0});
+    cfg.faults.events.push_back({0.55 * h, FaultKind::LinkUp, 0, 1.0});
+    cfg.faults.events.push_back({0.80 * h, FaultKind::LinkDown, 0, 1.0});
+    cfg.faults.events.push_back({0.85 * h, FaultKind::LinkUp, 0, 1.0});
+
+    laer::ServingSimulator sim(cluster, cfg);
+    r.report = sim.run();
+
+    requireConservation(r);
+    const laer::AvailabilityReport &a = r.report.availability;
+    require(r, a.transfersAborted > 0,
+            "dead link aborted no KV transfers");
+    require(r, a.requestsFailed == 0,
+            "link flaps failed requests despite timely heals");
+    require(r, a.degradedSeconds > 0.0,
+            "no degraded operation recorded");
+    require(r, r.report.completed > 0, "day completed nothing");
+    return r;
+}
+
+/** Straggler on one replica, device loss on the other. */
+ScenarioResult
+runGrayFailure(const laer::Cluster &cluster)
+{
+    ScenarioResult r;
+    r.name = "GrayFailure";
+    laer::ServingConfig cfg = dayConfig();
+    cfg.policy = laer::ServingPolicy::LaerServe;
+    cfg.replicas.replicaDevices = 8;
+    cfg.replicas.initialReplicas = 2;
+    const double h = horizonSeconds();
+    using laer::FaultKind;
+    cfg.faults.events.push_back(
+        {0.20 * h, FaultKind::StragglerStart, 0, 2.5});
+    cfg.faults.events.push_back(
+        {0.50 * h, FaultKind::StragglerEnd, 0, 1.0});
+    cfg.faults.events.push_back(
+        {0.40 * h, FaultKind::DeviceFail, 1, 2.0});
+    cfg.faults.events.push_back(
+        {0.70 * h, FaultKind::DeviceRepair, 1, 1.0});
+
+    laer::ServingSimulator sim(cluster, cfg);
+    r.report = sim.run();
+
+    requireConservation(r);
+    const laer::AvailabilityReport &a = r.report.availability;
+    require(r, a.faultsInjected > 0, "no gray faults injected");
+    require(r, a.degradedSeconds > 0.0,
+            "straggler/device loss recorded no degraded time");
+    require(r, a.degradedGoodputTps > 0.0,
+            "goodput collapsed to zero while degraded");
+    require(r, r.report.completed > 0, "day completed nothing");
+    return r;
+}
+
+void
+printAvailability(const std::vector<ScenarioResult> &results)
+{
+    std::ostringstream title;
+    title << "Fig. 16 — availability under a chaos day ("
+          << horizonSeconds() << " s diurnal, TTFT SLO 500 ms)";
+    laer::Table table(title.str());
+    table.setHeader({"scenario", "offered", "done", "failed",
+                     "retried", "faults", "repairs", "mttr_ms",
+                     "mttr_max_ms", "degraded_s", "degr_good_tok/s",
+                     "aborts"});
+    for (const ScenarioResult &r : results) {
+        const laer::AvailabilityReport &a = r.report.availability;
+        table.startRow();
+        table.cell(r.name);
+        table.cell(r.report.offered);
+        table.cell(r.report.completed);
+        table.cell(a.requestsFailed);
+        table.cell(a.requestsRetried);
+        table.cell(a.faultsInjected);
+        table.cell(a.repairs);
+        table.cell(1e3 * a.mttrMean, 0);
+        table.cell(1e3 * a.mttrMax, 0);
+        table.cell(a.degradedSeconds, 1);
+        table.cell(a.degradedGoodputTps, 0);
+        table.cell(a.transfersAborted);
+    }
+    emit(table);
+}
+
+void
+printTimeline(const ScenarioResult &r)
+{
+    if (r.report.availability.timeline.empty())
+        return;
+    std::ostringstream title;
+    title << "Fig. 16 — fault timeline (" << r.name << ")";
+    laer::Table table(title.str());
+    table.setHeader({"t_s", "kind", "target", "magnitude"});
+    for (const laer::FaultEvent &e : r.report.availability.timeline) {
+        table.startRow();
+        table.cell(e.time, 2);
+        table.cell(laer::faultKindName(e.kind));
+        table.cell(e.target);
+        table.cell(e.magnitude, 1);
+    }
+    emit(table);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    const laer::CliArgs args(
+        argc, argv, {"quick", "seed", "fault-plan", "csv", "help"});
+    if (args.has("help")) {
+        std::cout
+            << "usage: fig16_chaos [--quick] [--seed=N] "
+               "[--fault-plan=FILE] [--csv]\n"
+               "  --quick      20 s day instead of 80 s (CI smoke; "
+               "same recovery gates)\n"
+               "  --seed       storm/arrival seed base (default 16)\n"
+               "  --fault-plan replace the ReplicaStorm plan with a "
+               "parsed plan file (docs/ROBUSTNESS.md)\n"
+               "  --csv        emit tables as CSV\n";
+        return 0;
+    }
+    csv_output = args.has("csv");
+    quick = args.has("quick");
+    seed = args.getUint("seed", seed);
+    laer::FaultConfig plan;
+    const bool have_plan = !args.get("fault-plan").empty();
+    if (have_plan)
+        plan = laer::parseFaultPlanFile(args.get("fault-plan"));
+
+    const laer::Cluster cluster(8, 2, 300e9, 12.5e9, 0.68 * 312e12);
+    std::vector<ScenarioResult> results;
+    results.push_back(
+        runReplicaStorm(cluster, have_plan ? &plan : nullptr));
+    results.push_back(runLinkFlap(cluster));
+    results.push_back(runGrayFailure(cluster));
+
+    printAvailability(results);
+    for (const ScenarioResult &r : results)
+        printTimeline(r);
+
+    bool ok = true;
+    for (const ScenarioResult &r : results)
+        for (const std::string &v : r.violations) {
+            std::cerr << "fig16_chaos: " << r.name
+                      << ": recovery gate failed: " << v << "\n";
+            ok = false;
+        }
+    if (ok)
+        std::cout << "all recovery gates passed ("
+                  << results.size() << " scenarios)\n";
+    return ok ? 0 : 1;
+} catch (const laer::FatalError &err) {
+    std::cerr << "fig16_chaos: " << err.what() << "\n";
+    return 2;
+}

@@ -2,8 +2,9 @@
 # Documentation lint, run by the CI docs job and locally:
 #   1. every relative markdown link in README.md and docs/*.md must
 #      resolve to an existing file (anchors are stripped first);
-#   2. every public header in src/serve/, src/ctrl/, src/obs/ and
-#      src/difftest/ must carry a file-level Doxygen `@file` comment.
+#   2. every public header in src/serve/, src/ctrl/, src/obs/,
+#      src/fault/ and src/difftest/ must carry a file-level Doxygen
+#      `@file` comment.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -33,7 +34,7 @@ for md in README.md docs/*.md; do
 done
 
 for hh in src/serve/*.hh src/ctrl/*.hh src/obs/*.hh \
-          src/difftest/*.hh; do
+          src/fault/*.hh src/difftest/*.hh; do
     if ! grep -q '@file' "$hh"; then
         echo "MISSING @file COMMENT: $hh"
         status=1

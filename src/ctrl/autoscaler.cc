@@ -85,6 +85,32 @@ describe(double queue_per_replica, double kv)
     return oss.str();
 }
 
+/**
+ * Fault reconciliation, shared by every replica-mode policy: a
+ * fault-killed replica is capacity the operator already paid for, so
+ * it is rebuilt outright instead of waiting for queue pressure to
+ * rediscover the loss — under light load the survivors absorb the
+ * traffic and a purely load-driven policy would never act, leaving
+ * the fleet one fault away from an outage (docs/ROBUSTNESS.md).
+ * Fires only on faulted runs (`faultsEnabled`), so fault-free control
+ * traces are untouched.
+ */
+bool
+repairAction(const TelemetryWindow &window, const ControlState &state,
+             const AutoscalerConfig &config, ScalingAction &action)
+{
+    if (state.splitMode || !window.faultsEnabled ||
+        window.deadReplicas == 0 ||
+        state.activeReplicas >= config.maxReplicas)
+        return false;
+    action.kind = ScalingAction::Kind::SetReplicas;
+    action.target = state.activeReplicas + 1;
+    std::ostringstream oss;
+    oss << "repair: " << window.deadReplicas << " dead replica(s)";
+    action.reason = oss.str();
+    return true;
+}
+
 } // namespace
 
 int
@@ -136,6 +162,10 @@ ThresholdHysteresisAutoscaler::decide(const TelemetryBus &bus,
     ScalingAction action;
     if (cooldown_ > 0) {
         --cooldown_;
+        return action;
+    }
+    if (repairAction(w, state, config_, action)) {
+        cooldown_ = config_.cooldownWindows;
         return action;
     }
 
@@ -220,6 +250,10 @@ TargetUtilizationAutoscaler::decide(const TelemetryBus &bus,
     ScalingAction action;
     if (cooldown_ > 0) {
         --cooldown_;
+        return action;
+    }
+    if (repairAction(w, state, config_, action)) {
+        cooldown_ = config_.cooldownWindows;
         return action;
     }
 

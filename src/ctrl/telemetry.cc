@@ -106,6 +106,16 @@ TelemetryCollector::collect(const ServingSimulator &sim, Seconds start,
     // estimators replaced them); the window p95s read 0 and the
     // cursors stay parked at 0 — collection itself is unaffected.
 
+    w.faultsEnabled = sim.config().faults.enabled();
+    w.faults = sim.faultsSoFar() - lastFaults_;
+    lastFaults_ = sim.faultsSoFar();
+    w.repairs = sim.repairsSoFar() - lastRepairs_;
+    lastRepairs_ = sim.repairsSoFar();
+    w.failed = sim.failedSoFar() - lastFailed_;
+    lastFailed_ = sim.failedSoFar();
+    w.deadReplicas = sim.deadReplicas();
+    w.retrying = sim.retryingNow();
+
     w.activeReplicas = sim.activeReplicas();
     w.prefillDevices = sim.prefillDevices();
     for (int i = 0; i < sim.replicaSlots(); ++i) {
@@ -142,6 +152,18 @@ exportWindowMetrics(const TelemetryWindow &window,
         .set(static_cast<double>(window.activeReplicas));
     registry.gauge("ctrl.prefill_devices")
         .set(static_cast<double>(window.prefillDevices));
+    // Fault signals mirror only on faulted runs, so fault-free
+    // registries (and the golden snapshots pinning them) carry
+    // exactly the historical name set.
+    if (window.faultsEnabled) {
+        registry.counter("ctrl.faults").add(window.faults);
+        registry.counter("ctrl.repairs").add(window.repairs);
+        registry.counter("ctrl.failed").add(window.failed);
+        registry.gauge("ctrl.dead_replicas")
+            .set(static_cast<double>(window.deadReplicas));
+        registry.gauge("ctrl.retrying")
+            .set(static_cast<double>(window.retrying));
+    }
 }
 
 } // namespace laer

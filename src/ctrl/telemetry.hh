@@ -57,6 +57,17 @@ struct TelemetryWindow
     int prefillDevices = 0;      //!< current split; 0 when aggregated
     std::vector<PoolSignal> pools; //!< one entry per engine slot
 
+    // Fault/recovery signals (src/fault/; all zero when faults are
+    // disabled). The autoscaler needs no special casing — a dead
+    // replica already reads as capacity loss through activeReplicas —
+    // but policies and dashboards get the explicit loop closure.
+    bool faultsEnabled = false; //!< run carries a fault plan
+    std::int64_t faults = 0;    //!< fault events applied this window
+    std::int64_t repairs = 0;   //!< repairs completed this window
+    std::int64_t failed = 0;    //!< requests failed this window
+    int deadReplicas = 0;       //!< fault-killed slots at window close
+    int retrying = 0;           //!< retries in backoff at window close
+
     /** Waiting requests summed over live pools. */
     int totalQueueDepth() const;
 
@@ -118,6 +129,9 @@ class TelemetryCollector
     std::size_t lastTtftIndex_ = 0;
     std::size_t lastTpotIndex_ = 0;
     Seconds lastStall_ = 0.0;
+    std::int64_t lastFaults_ = 0;
+    std::int64_t lastRepairs_ = 0;
+    std::int64_t lastFailed_ = 0;
 };
 
 /**

@@ -6,6 +6,7 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "core/error.hh"
 #include "model/config.hh"
@@ -131,9 +132,32 @@ class Cursor
 
 } // namespace
 
-Scenario
-goldenScenario()
+const std::vector<std::string> &
+goldenFamilies()
 {
+    static const std::vector<std::string> families = {
+        "laer", "staticep", "flexmoe", "disagg"};
+    return families;
+}
+
+Scenario
+goldenScenario(const std::string &family)
+{
+    ServingPolicy policy = ServingPolicy::LaerServe;
+    if (family == "laer")
+        policy = ServingPolicy::LaerServe;
+    else if (family == "staticep")
+        policy = ServingPolicy::StaticEp;
+    else if (family == "flexmoe")
+        policy = ServingPolicy::FlexMoe;
+    else if (family == "disagg")
+        policy = ServingPolicy::Disaggregated;
+    else
+        LAER_CHECK(false, "unknown golden family '"
+                              << family
+                              << "' (catalog: laer, staticep, "
+                              << "flexmoe, disagg)");
+
     Scenario s;
     s.seed = 0; // fixed, never fuzzed
     s.nodes = 2;
@@ -141,7 +165,7 @@ goldenScenario()
 
     ServingConfig &cfg = s.serving;
     cfg.model = mixtral8x7bE8K2();
-    cfg.policy = ServingPolicy::LaerServe;
+    cfg.policy = policy;
     cfg.capacity = 2;
     cfg.simulatedLayers = 2;
     cfg.retunePeriod = 8;
@@ -162,9 +186,9 @@ goldenScenario()
 }
 
 SnapshotStream
-captureGoldenStream()
+captureGoldenStream(const std::string &family)
 {
-    const Scenario s = goldenScenario();
+    const Scenario s = goldenScenario(family);
     RunCapture capture = captureServingRun(s.makeCluster(), s.serving,
                                            s.snapshotInterval);
     return std::move(capture.stream);
@@ -230,10 +254,11 @@ readGoldenJson(std::istream &is)
 }
 
 DiffReport
-checkAgainstGolden(const SnapshotStream &golden)
+checkAgainstGolden(const SnapshotStream &golden,
+                   const std::string &family)
 {
-    DiffReport report =
-        diffStreams(golden, captureGoldenStream(), DiffOptions());
+    DiffReport report = diffStreams(golden, captureGoldenStream(family),
+                                    DiffOptions());
     report.refLabel = "golden-file";
     report.candLabel = "fresh-run";
     return report;

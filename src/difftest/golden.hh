@@ -24,14 +24,20 @@
  *
  * `difftest_main --record-golden=F` writes the canonical scenario's
  * stream to F; `--check-golden=F` re-runs the scenario and diffs the
- * fresh stream against F with the default wall-clock exclusions. The
- * committed reference lives at tests/golden/serving_default.golden.json.
+ * fresh stream against F with the default wall-clock exclusions.
+ * `--golden-scenario=FAMILY` selects which policy family's canonical
+ * scenario both flags run (default "laer"). The committed catalog
+ * lives at tests/golden/: serving_default.golden.json (the LaerServe
+ * default path) plus serving_<family>.golden.json for every other
+ * family in goldenFamilies().
  */
 
 #ifndef LAER_DIFFTEST_GOLDEN_HH
 #define LAER_DIFFTEST_GOLDEN_HH
 
 #include <iosfwd>
+#include <string>
+#include <vector>
 
 #include "difftest/diff.hh"
 #include "difftest/probe.hh"
@@ -40,17 +46,27 @@
 namespace laer
 {
 
+/** The golden catalog's policy families, in catalog order:
+ * "laer" (the default path), "staticep", "flexmoe", "disagg". One
+ * committed golden file freezes each family's canonical run, so a
+ * byte-level regression in any placement policy's serving path —
+ * not just the default one — fails the gate. */
+const std::vector<std::string> &goldenFamilies();
+
 /**
- * The canonical golden scenario: a fixed (never fuzzed) default-path
- * serving run — LaerServe on a 2x4 cluster, Poisson arrivals, serial
- * event core, no control loop — chosen to cover the exact code path
- * the repo's figure binaries exercise. Changing any knob here
+ * The canonical golden scenario of one policy family: a fixed
+ * (never fuzzed) serving run on a 2x4 cluster with Poisson arrivals,
+ * serial event core and no control loop — chosen to cover the exact
+ * code paths the repo's figure binaries exercise. Every family
+ * shares the cluster, arrival process and horizon; only the
+ * expert-placement policy differs. Changing any knob here
  * invalidates committed golden files; re-record them deliberately.
+ * @throws FatalError on an unknown family name.
  */
-Scenario goldenScenario();
+Scenario goldenScenario(const std::string &family = "laer");
 
 /** Capture the canonical scenario's checkpoint stream. */
-SnapshotStream captureGoldenStream();
+SnapshotStream captureGoldenStream(const std::string &family = "laer");
 
 /** Serialize a stream to the golden JSON format (see file comment). */
 void writeGoldenJson(std::ostream &os, const SnapshotStream &stream);
@@ -63,10 +79,11 @@ void writeGoldenJson(std::ostream &os, const SnapshotStream &stream);
 SnapshotStream readGoldenJson(std::istream &is);
 
 /**
- * Re-run the canonical scenario and diff it against a recorded
- * golden stream (default wall-clock exclusions apply).
+ * Re-run a family's canonical scenario and diff it against a
+ * recorded golden stream (default wall-clock exclusions apply).
  */
-DiffReport checkAgainstGolden(const SnapshotStream &golden);
+DiffReport checkAgainstGolden(const SnapshotStream &golden,
+                              const std::string &family = "laer");
 
 } // namespace laer
 

@@ -203,6 +203,70 @@ class SwapRecomputeLane : public EquivalenceLane
     }
 };
 
+// ---- fault-determinism: faulted runs replay bit-identically ---------
+
+class FaultDeterminismLane : public EquivalenceLane
+{
+  public:
+    const char *name() const override { return "fault-determinism"; }
+    const char *description() const override
+    {
+        return "same seed + fault plan across thread counts, the "
+               "windowed-core request and metrics modes; kills, "
+               "backoff retries and repairs must replay bit-identical "
+               "(faulted runs pin the serial event core, so none of "
+               "those knobs may move a counter)";
+    }
+    Scenario prepare(Scenario s) const override
+    {
+        // Every replay is faulted. Scenarios that did not draw a plan
+        // get the canonical one: a replica topology with a mid-run
+        // kill + scripted repair; Disaggregated keeps its split and
+        // takes a boundary-link flap instead.
+        if (s.serving.policy != ServingPolicy::Disaggregated) {
+            s.serving.policy = ServingPolicy::LaerServe;
+            s.serving.replicas.replicaDevices =
+                (s.nodes * s.devicesPerNode) / 2;
+            s.serving.replicas.initialReplicas = 2;
+        }
+        if (!s.serving.faults.enabled()) {
+            const Seconds down = 0.35 * s.serving.horizon;
+            const Seconds up = 0.60 * s.serving.horizon;
+            if (s.serving.policy == ServingPolicy::Disaggregated) {
+                s.serving.faults.events.push_back(
+                    {down, FaultKind::LinkDown, 0, 1.0});
+                s.serving.faults.events.push_back(
+                    {up, FaultKind::LinkUp, 0, 1.0});
+            } else {
+                s.serving.faults.events.push_back(
+                    {down, FaultKind::ReplicaFail, 1, 1.0});
+                s.serving.faults.events.push_back(
+                    {up, FaultKind::ReplicaRepair, 1, 1.0});
+            }
+            s.serving.faults.backoffBase = 0.02;
+        }
+        return s;
+    }
+    LaneRun runRef(const Scenario &s) const override
+    {
+        ServingConfig cfg = s.serving;
+        cfg.threads = 1;
+        cfg.metricsMode = MetricsMemoryMode::Exact;
+        return servingRun(s, "fault-threads=1", cfg);
+    }
+    LaneRun runCandidate(const Scenario &s) const override
+    {
+        ServingConfig cfg = s.serving;
+        cfg.threads = 4;
+        // Faulted runs must pin the serial core even when the
+        // windowed core is requested (the config gate rejects the
+        // request under Disaggregated before faults are consulted).
+        cfg.desParallel = cfg.policy != ServingPolicy::Disaggregated;
+        cfg.metricsMode = MetricsMemoryMode::Streaming;
+        return servingRun(s, "fault-threads=4", cfg);
+    }
+};
+
 // ---- dense-sparse: planner pricing paths ----------------------------
 
 /**
@@ -328,10 +392,11 @@ equivalenceLanes()
     static const MetricsModeLane metrics_mode;
     static const ControlNoneLane control_none;
     static const SwapRecomputeLane swap_recompute;
+    static const FaultDeterminismLane fault_determinism;
     static const DenseSparseLane dense_sparse;
     static const std::vector<const EquivalenceLane *> lanes = {
         &threads, &serial_parallel_des, &metrics_mode, &control_none,
-        &swap_recompute, &dense_sparse,
+        &swap_recompute, &fault_determinism, &dense_sparse,
     };
     return lanes;
 }

@@ -33,6 +33,14 @@
  *                      regime where the two modes are defined to be
  *                      equivalent (the lane's prepare() forces the
  *                      ample pool).
+ *  - "fault-determinism":
+ *                      the same seed + fault plan at 1 worker/Exact
+ *                      metrics vs 4 workers/windowed-core-requested/
+ *                      Streaming metrics. Faulted runs pin the serial
+ *                      event core, so kills, backoff retries and
+ *                      repairs must replay bit-identically; prepare()
+ *                      injects a canonical kill+repair (or link flap)
+ *                      when the scenario drew no plan of its own.
  *  - "dense-sparse":   dense liteRouting + VolumeMatrix pricing vs
  *                      the sparse CSR plan + port-load pricing, over
  *                      a seeded routing sequence with periodic

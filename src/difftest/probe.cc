@@ -102,7 +102,9 @@ const char *const kMonotone[] = {
     "serve.preemptions",     "serve.steps",
     "serve.migrated",        "serve.kv_transfer_bytes",
     "planner.retunes",       "serve.device_seconds",
-    "serve.sim_now",
+    "serve.sim_now",         "serve.faults",
+    "serve.repairs",         "serve.retries",
+    "serve.failed",          "serve.transfer_aborts",
 };
 
 } // namespace
@@ -125,17 +127,22 @@ checkStreamInvariants(const SnapshotStream &stream,
 
         // Request conservation: tokens in = retired + in-flight.
         // Every offered request is exactly one of completed, waiting,
-        // running, migrating between pools, or held across a split.
+        // running, migrating between pools, held across a split,
+        // counted failed (fault recovery gave up on it), or parked in
+        // the retry queue between a fault kill and its re-enqueue.
+        // The fault terms read 0 on fault-free runs (the simulator
+        // only registers them when a fault plan is configured).
         const double offered = v("serve.offered");
         const double accounted =
             v("serve.completed") + v("serve.queue_depth") +
             v("serve.running") + v("serve.migrating") +
-            v("serve.held");
+            v("serve.held") + v("serve.failed") +
+            v("serve.retrying");
         if (std::fabs(offered - accounted) > tol) {
             std::ostringstream os;
             os << "request conservation broken: offered (" << offered
                << ") != completed + queued + running + migrating + "
-                  "held ("
+                  "held + failed + retrying ("
                << accounted << ")";
             report(os.str());
         }

@@ -15,8 +15,10 @@
  * snapshot must satisfy regardless of configuration:
  *
  *  - request conservation: every offered request is completed,
- *    queued, running, migrating between pools, or held across a
- *    split re-partition — nothing is dropped on the floor;
+ *    queued, running, migrating between pools, held across a split
+ *    re-partition, counted failed by fault recovery, or parked in
+ *    the retry queue awaiting re-enqueue — nothing is dropped on
+ *    the floor, with or without an active fault plan;
  *  - KV discipline: reserved bytes never exceed the pool budget;
  *  - power discipline: device-seconds integrate at most
  *    numDevices * simulated time and never run backwards;

@@ -71,6 +71,12 @@ Scenario::describe() const
        << " layers=" << serving.simulatedLayers
        << " retune=" << serving.retunePeriod
        << " capacity=" << serving.capacity;
+    if (serving.replicas.initialReplicas > 0)
+        os << " replicas=" << serving.replicas.initialReplicas << "x"
+           << serving.replicas.replicaDevices;
+    if (serving.faults.enabled())
+        os << " faults=" << serving.faults.events.size()
+           << (serving.faults.mtbf > 0.0 ? "+mtbf" : "");
     return os.str();
 }
 
@@ -92,7 +98,11 @@ Scenario::writeJson(std::ostream &os) const
        << ",\"retune_period\":" << serving.retunePeriod
        << ",\"capacity\":" << serving.capacity
        << ",\"token_budget\":" << serving.batcher.tokenBudget
-       << ",\"control_interval_s\":" << controlInterval << "}";
+       << ",\"control_interval_s\":" << controlInterval
+       << ",\"replicas\":" << serving.replicas.initialReplicas
+       << ",\"replica_devices\":" << serving.replicas.replicaDevices
+       << ",\"fault_events\":" << serving.faults.events.size()
+       << ",\"fault_mtbf_s\":" << serving.faults.mtbf << "}";
 }
 
 Scenario
@@ -179,6 +189,43 @@ generateScenario(std::uint64_t seed)
 
     s.controlInterval = rng.uniform(0.25, 1.0);
     s.snapshotInterval = 0.25;
+
+    // Replica topologies, drawn natively (~35% of LaerServe
+    // scenarios): two half-cluster slices, so failover and the
+    // replica-aware lanes exercise multi-engine runs without a lane
+    // prepare() override. The capacity envelope above already
+    // guarantees every expert fits a half-cluster pool.
+    if (cfg.policy == ServingPolicy::LaerServe &&
+        rng.uniform() < 0.35) {
+        cfg.replicas.replicaDevices = devices / 2;
+        cfg.replicas.initialReplicas = 2;
+    }
+
+    // Optional fault plan (~25% of the scenarios that can survive
+    // one): a mid-run fail-stop with a scripted repair on replica
+    // topologies, a boundary-link flap under Disaggregated. Every
+    // plan heals well before the horizon, so the equivalence lanes
+    // compare recovered runs, not wedged ones.
+    const bool replicated = cfg.replicas.initialReplicas >= 2;
+    if ((replicated || cfg.policy == ServingPolicy::Disaggregated) &&
+        rng.uniform() < 0.25) {
+        const Seconds down = rng.uniform(0.25, 0.45) * cfg.horizon;
+        const Seconds up =
+            down + rng.uniform(0.15, 0.30) * cfg.horizon;
+        if (replicated) {
+            cfg.faults.events.push_back(
+                {down, FaultKind::ReplicaFail, 1, 1.0});
+            cfg.faults.events.push_back(
+                {up, FaultKind::ReplicaRepair, 1, 1.0});
+        } else {
+            cfg.faults.events.push_back(
+                {down, FaultKind::LinkDown, 0, 1.0});
+            cfg.faults.events.push_back(
+                {up, FaultKind::LinkUp, 0, 1.0});
+        }
+        cfg.faults.backoffBase = 0.02;
+        cfg.faults.retryBudget = 4;
+    }
     return s;
 }
 
@@ -227,6 +274,14 @@ shrinkScenario(const Scenario &failing,
         [](Scenario s) {
             s.serving.hbmPerDevice = 0;
             s.serving.batcher.kvBudgetBytes = 0;
+            return s;
+        },
+        [](Scenario s) {
+            s.serving.faults = FaultConfig();
+            return s;
+        },
+        [](Scenario s) {
+            s.serving.replicas = ReplicaConfig();
             return s;
         },
         [](Scenario s) {

@@ -25,13 +25,19 @@
  *    single request always fits — the validity requirement of
  *    ContinuousBatcher::enqueue);
  *  - horizon 1.5-3 s, retune period 4-32 steps, 1-3 simulated
- *    layers, control window 0.25-1 s, checkpoint cadence 0.25 s.
+ *    layers, control window 0.25-1 s, checkpoint cadence 0.25 s;
+ *  - topology: ~35% of LaerServe scenarios run two half-cluster
+ *    replica slices instead of one whole-cluster engine;
+ *  - faults: ~25% of replica/Disaggregated scenarios carry a fault
+ *    plan (a mid-run replica fail-stop with a scripted repair, or a
+ *    boundary-link down/up flap) that heals before the horizon.
  *
  * shrinkScenario() turns a failing (lane, scenario) pair into a
  * minimal reproducer by bisecting the knobs toward their floors —
  * halving the horizon, rate, token means and layer count, collapsing
- * the arrival process and class mix — re-running the lane after each
- * candidate reduction and keeping exactly those that still fail.
+ * the arrival process and class mix, dropping the fault plan and the
+ * replica topology — re-running the lane after each candidate
+ * reduction and keeping exactly those that still fail.
  */
 
 #ifndef LAER_DIFFTEST_SCENARIO_GEN_HH

@@ -27,6 +27,8 @@ attrComponentName(AttrComponent component)
         return "transfer_stall";
       case AttrComponent::DecodeResidency:
         return "decode_residency";
+      case AttrComponent::RetryRecovery:
+        return "retry_recovery";
     }
     return "?";
 }

@@ -4,7 +4,7 @@
  *
  * The idiom is ECM-style decomposition: every measured latency is
  * the *exact* sum of named causes, so an SLO miss is attributable,
- * not just counted. A request's end-to-end latency splits into seven
+ * not just counted. A request's end-to-end latency splits into eight
  * components:
  *
  *  - queue_wait        time not accounted to any other component
@@ -21,7 +21,12 @@
  *                      pools only);
  *  - transfer_stall    time a migrated context waited at the decode
  *                      pool's admission door after the wire finished;
- *  - decode_residency  decode step residency.
+ *  - decode_residency  decode step residency;
+ *  - retry_recovery    fault-recovery dead time (src/fault/): from the
+ *                      instant a replica death or link abort evicted
+ *                      the request until its retry re-entered an
+ *                      engine's queue (backoff plus any wait for a
+ *                      live target).
  *
  * The invariant — checked bit-exactly on every retirement — is that
  * re-summing the components in the fixed canonical order (queue_wait
@@ -64,10 +69,11 @@ enum class AttrComponent
     KvTransfer,
     TransferStall,
     DecodeResidency,
+    RetryRecovery,
 };
 
 /** Number of AttrComponent values. */
-constexpr int kNumAttrComponents = 7;
+constexpr int kNumAttrComponents = 8;
 
 /** Stable snake_case name ("queue_wait", ...) for reports and trace
  * slices. */

@@ -1,5 +1,7 @@
 #include "obs/req_trace.hh"
 
+#include <cstdio>
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -254,6 +256,40 @@ ReqTraceRecorder::onRehome(int id, Seconds time, int pool)
 }
 
 void
+ReqTraceRecorder::onRetryWait(int id, Seconds killed_at,
+                              Seconds requeued_at)
+{
+    LiveReq *req = find(id);
+    LAER_CHECK(req != nullptr, "retry for unknown request " << id);
+    ++retries_;
+    const double wait = std::max(0.0, requeued_at - killed_at);
+    req->attr.add(AttrComponent::RetryRecovery, wait,
+                  !req->firstTokenSeen);
+    if (wait > 0.0) {
+        TimelineEvent seg;
+        seg.time = killed_at;
+        seg.duration = wait;
+        seg.component = AttrComponent::RetryRecovery;
+        seg.segment = true;
+        pushEvent(*req, seg);
+    }
+    TimelineEvent e;
+    e.time = requeued_at;
+    e.name = "retry";
+    pushEvent(*req, e);
+}
+
+void
+ReqTraceRecorder::onFailed(int id, Seconds time)
+{
+    LiveReq *req = find(id);
+    LAER_CHECK(req != nullptr, "failure for unknown request " << id);
+    (void)time;
+    ++failedCount_;
+    live_.erase(id);
+}
+
+void
 ReqTraceRecorder::foldTopK(std::vector<SloRecord> &heap,
                            const SloRecord &rec, bool by_tpot)
 {
@@ -456,6 +492,8 @@ ReqTraceRecorder::writeSloJson(std::ostream &os,
     os << "\"sample_every\":" << config_.sampleEvery
        << ",\"seed\":" << config_.seed << ",\"top_k\":" << config_.topK
        << ",\"sampled_retired\":" << sampledRetired_
+       << ",\"retries\":" << retries_
+       << ",\"failed\":" << failedCount_
        << ",\"live\":" << live_.size()
        << ",\"violation_count\":" << violationCount_
        << ",\"violations\":[";

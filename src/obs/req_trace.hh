@@ -160,6 +160,16 @@ class ReqTraceRecorder
      * (`pool` < 0 when parked in the held queue). */
     void onRehome(int id, Seconds time, int pool);
 
+    /** Fault recovery (src/fault/): the request lost its engine at
+     * `killed_at` and its retry re-entered a queue at `requeued_at`.
+     * The gap is attributed to retry_recovery. */
+    void onRetryWait(int id, Seconds killed_at, Seconds requeued_at);
+
+    /** Fault recovery gave up on the request (retry budget exhausted,
+     * no live replica, or the degraded pool can never hold it): drop
+     * its live state — it will never retire. */
+    void onFailed(int id, Seconds time);
+
     /** Trace-emission context for retire(). */
     struct RetireContext
     {
@@ -181,6 +191,12 @@ class ReqTraceRecorder
 
     /** Sampled requests retired so far. */
     std::int64_t sampledRetired() const { return sampledRetired_; }
+
+    /** Fault-recovery re-queues recorded via onRetryWait(). */
+    std::int64_t sampledRetries() const { return retries_; }
+
+    /** Sampled requests dropped via onFailed() (never retired). */
+    std::int64_t sampledFailed() const { return failedCount_; }
 
     /** Sampled requests still live (admitted, not yet retired). */
     std::size_t liveCount() const { return live_.size(); }
@@ -246,6 +262,8 @@ class ReqTraceRecorder
     std::vector<std::string> violations_;
     std::int64_t sampledRetired_ = 0;
     std::int64_t violationCount_ = 0;
+    std::int64_t retries_ = 0;
+    std::int64_t failedCount_ = 0;
 };
 
 /**

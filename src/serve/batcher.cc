@@ -95,7 +95,7 @@ ContinuousBatcher::kvUtilization() const
 }
 
 void
-ContinuousBatcher::enqueue(const Request &request)
+ContinuousBatcher::validateAdmissible(const Request &request) const
 {
     LAER_CHECK(request.sloClass >= 0 &&
                    request.sloClass < config_.numSloClasses,
@@ -114,7 +114,68 @@ ContinuousBatcher::enqueue(const Request &request)
                               << " KV bytes but the pool holds only "
                               << kv_->budgetBytes());
     }
+}
+
+void
+ContinuousBatcher::enqueue(const Request &request)
+{
+    validateAdmissible(request);
     waiting_[request.sloClass].push_back(request);
+}
+
+void
+ContinuousBatcher::enqueueFront(const Request &request)
+{
+    validateAdmissible(request);
+    waiting_[request.sloClass].push_front(request);
+}
+
+std::vector<Request>
+ContinuousBatcher::resizeKvBudget(Bytes budget)
+{
+    std::vector<Request> unservable;
+    if (!kv_ || budget == kv_->budgetBytes())
+        return unservable;
+    LAER_CHECK(budget >= 1, "KV resize needs a positive budget");
+    // Shrink first: force-preempt running sequences through the normal
+    // eviction machinery (lowest priority, youngest first — grower
+    // class 0 puts every sequence in scope) until the survivors fit.
+    // Only running sequences hold reservations, so reserved > budget
+    // guarantees a victim exists.
+    while (kv_->reservedBytes() > budget) {
+        const int victim = pickVictim({}, 0);
+        LAER_ASSERT(victim >= 0,
+                    "KV bytes reserved with nothing running");
+        preempt(victim);
+    }
+    kv_->setBudget(budget);
+    // Sweep out requests whose FULL context can never fit again (the
+    // preempt loop parked its victims in waiting_, so one pass over
+    // the queues after it catches them too).
+    const auto fits = [this](const Request &r) {
+        return kv_->bytesFor(r.prefillTokens + r.decodeTokens) <=
+               kv_->budgetBytes();
+    };
+    for (auto &queue : waiting_) {
+        for (auto it = queue.begin(); it != queue.end();) {
+            if (fits(*it)) {
+                ++it;
+                continue;
+            }
+            unservable.push_back(*it);
+            it = queue.erase(it);
+        }
+    }
+    for (auto it = running_.begin(); it != running_.end();) {
+        if (fits(*it)) {
+            ++it;
+            continue;
+        }
+        kv_->release(it->id);
+        unservable.push_back(*it);
+        it = running_.erase(it);
+    }
+    return unservable;
 }
 
 int

@@ -150,6 +150,29 @@ class ContinuousBatcher
     void enqueue(const Request &request);
 
     /**
+     * Admit a request at the FRONT of its class's waiting queue — the
+     * fault-recovery re-queue primitive (src/fault/): a request that
+     * lost its engine resumes before fresh arrivals of its class, the
+     * same discipline a preemption victim gets. Validation matches
+     * enqueue().
+     */
+    void enqueueFront(const Request &request);
+
+    /**
+     * Re-point the KV pool at `budget` bytes (device loss or repair
+     * re-derives capacity from the surviving devices). Running
+     * sequences are force-preempted through the normal recompute/swap
+     * machinery — lowest priority, youngest first — until the
+     * survivors' reservations fit the new budget; preemption records
+     * and counters flow as usual. Requests (waiting or running) whose
+     * FULL context could never fit the new budget are removed and
+     * returned — no schedule could ever run them, so the caller
+     * decides their fate (the fault layer counts them failed). A
+     * no-op returning empty when the KV model is off.
+     */
+    std::vector<Request> resizeKvBudget(Bytes budget);
+
+    /**
      * Plan the next engine step. With the KV model enabled this is
      * also where preemption happens: decode growth that no longer
      * fits the pool evicts victims before the plan is assembled.
@@ -297,6 +320,10 @@ class ContinuousBatcher
     const BatcherConfig &config() const { return config_; }
 
   private:
+    /** Shared enqueue()/enqueueFront() validation: class and token
+     * ranges, and full-context-fits under the KV model. */
+    void validateAdmissible(const Request &request) const;
+
     /** Reserve decode growth for running sequences, evicting when the
      * pool runs dry. Only called with the KV model enabled. */
     void secureDecodeGrowth();

@@ -186,6 +186,24 @@ class ServingEngine
     /** Admit a request into the pool's waiting queues. */
     void enqueue(const Request &request) { batcher_.enqueue(request); }
 
+    /** Admit a request at the FRONT of its SLO class (fault-recovery
+     * retries: the request already waited out a failure and must not
+     * queue behind the backlog again). */
+    void enqueueFront(const Request &request)
+    {
+        batcher_.enqueueFront(request);
+    }
+
+    /** Re-derive the pool's KV budget (device fault/repair masking).
+     * @return requests evicted because their FULL context can no
+     *         longer ever fit the new budget (the caller fails them);
+     *         running requests that still fit are force-preempted
+     *         through the normal recompute path instead. */
+    std::vector<Request> resizeKvBudget(Bytes budget)
+    {
+        return batcher_.resizeKvBudget(budget);
+    }
+
     /** True while any request is waiting or running in this pool. */
     bool hasWork() const { return batcher_.hasWork(); }
 

@@ -90,6 +90,17 @@ KvCachePool::grow(int id, TokenCount context)
 }
 
 void
+KvCachePool::setBudget(Bytes budget_bytes)
+{
+    LAER_CHECK(budget_bytes > 0, "KV budget must be positive");
+    LAER_CHECK(reserved_ <= budget_bytes,
+               "KV pool shrink below reserved bytes: " << reserved_
+                   << " B reserved, new budget " << budget_bytes
+                   << " B — evict first");
+    budget_ = budget_bytes;
+}
+
+void
 KvCachePool::release(int id)
 {
     const auto it = perSeq_.find(id);

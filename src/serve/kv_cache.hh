@@ -138,6 +138,14 @@ class KvCachePool
     /** Total pool size. */
     Bytes budgetBytes() const { return budget_; }
 
+    /**
+     * Re-point the pool at a new budget (device loss or repair). The
+     * caller must first release/evict reservations below the new
+     * budget when shrinking — the pool never over-commits. Throws
+     * FatalError when reserved bytes exceed the new budget.
+     */
+    void setBudget(Bytes budget_bytes);
+
     /** Bytes reserved across all sequences; always <= budgetBytes(). */
     Bytes reservedBytes() const { return reserved_; }
 

@@ -65,6 +65,8 @@ struct Request
     bool swapped = false;         //!< preempted; KV parked in host memory
     Bytes swappedBytes = 0;       //!< KV bytes parked on host while swapped
     int preemptions = 0;          //!< times this request was evicted
+    int retries = 0;              //!< fault-recovery re-queues so far
+                                  //!< (src/fault/ retry budget)
 
     /** Current life-cycle stage, derived from progress counters. */
     RequestPhase phase() const;

@@ -159,6 +159,25 @@ ServingSimulator::ServingSimulator(const Cluster &cluster,
         calendar_.makeHandle(static_cast<int>(engines_.size()));
     migrationWake_ =
         calendar_.makeHandle(static_cast<int>(engines_.size()) + 1);
+    faultWake_ =
+        calendar_.makeHandle(static_cast<int>(engines_.size()) + 2);
+    retryWake_ =
+        calendar_.makeHandle(static_cast<int>(engines_.size()) + 3);
+    // Fault injection is strictly opt-in: with the plan empty every
+    // hook below stays behind one bool and the run is byte-for-byte
+    // with its fault-free history.
+    faultsEnabled_ = config_.faults.enabled();
+    if (faultsEnabled_)
+        faultPlan_ =
+            expandFaultPlan(config_.faults,
+                            static_cast<int>(engines_.size()),
+                            config_.horizon);
+    pendingKill_.assign(engines_.size(), 0);
+    stragglerFactor_.assign(engines_.size(), 1.0);
+    deadDevices_.assign(engines_.size(), 0);
+    faultDownSince_.assign(engines_.size(), -1.0);
+    failedByClass_.assign(
+        static_cast<std::size_t>(config_.arrival.numSloClasses), 0);
     // Replica slices beyond the initial count start parked: their
     // devices are dark until the control plane spins them up.
     if (config_.replicas.replicaDevices > 0)
@@ -423,6 +442,14 @@ ServingSimulator::requestReplicas(int target)
             if (engines_[i]->state() != EngineState::Stopped)
                 continue;
             retireEngineCounters(i);
+            if (faultsEnabled_) {
+                // A rebuilt slice comes back whole, exactly like a
+                // scripted repair (applyRepair); when this slot died
+                // of a fault, its MTTR clock closes at the Active
+                // promote in applyReconfig().
+                deadDevices_[i] = 0;
+                stragglerFactor_[i] = 1.0;
+            }
             engines_[i] = std::make_unique<ServingEngine>(
                 slices_[i],
                 engineConfigFor(slices_[i], static_cast<int>(i)),
@@ -674,6 +701,22 @@ ServingSimulator::updateRegistryGauges()
         .set(static_cast<double>(kv_reserved));
     reg->gauge("serve.kv_budget_bytes")
         .set(static_cast<double>(kv_budget));
+    if (faultsEnabled_) {
+        // Fault-plan series exist only on faulted runs, so the
+        // fault-free metric stream (and the golden gate pinning it)
+        // stays byte-for-byte. `serve.failed` and `serve.retrying`
+        // extend the conservation identity above:
+        //   offered == completed + queue_depth + running + migrating
+        //              + held + retrying + failed
+        reg->counter("serve.faults").set(faultsInjected_);
+        reg->counter("serve.repairs").set(repairsDone_);
+        reg->counter("serve.retries").set(requestsRetried_);
+        reg->counter("serve.failed").set(requestsFailed_);
+        reg->counter("serve.transfer_aborts").set(transfersAborted_);
+        reg->gauge("serve.retrying")
+            .set(static_cast<double>(retryQueue_.size()));
+        reg->gauge("serve.dead_replicas").set(deadReplicas());
+    }
     reg->gauge("serve.device_seconds").set(deviceSecondsSoFar());
     // The simulated clock the gauges were read at. Snapshots crossed
     // by a long event jump are stamped with their boundary time, which
@@ -731,6 +774,21 @@ ServingSimulator::applyReconfig()
         if (engines_[i]->state() == EngineState::Loading &&
             freeAt_[i] <= now_) {
             engines_[i]->setReady();
+            if (faultsEnabled_ && faultDownSince_[i] >= 0.0) {
+                // The slot is serving again: close its MTTR clock,
+                // whether a scripted repair or the autoscaler rebuilt
+                // it.
+                const Seconds mttr = now_ - faultDownSince_[i];
+                mttrSamples_.push_back(mttr);
+                ++repairsDone_;
+                LAER_TRACE_SPAN(config_.trace, faultTrack(), "outage",
+                                "fault", faultDownSince_[i], mttr,
+                                {TraceArg{"pool",
+                                          static_cast<int>(i)},
+                                 TraceArg{"mttr_s", mttr}});
+                faultDownSince_[i] = -1.0;
+                updateDegraded();
+            }
             scheduleEngineWake(i);
         }
 
@@ -760,8 +818,18 @@ ServingSimulator::applyReconfig()
             pending_.held[i] = std::move(evicted);
         } else {
             for (const Request &r : evicted) {
+                // Under faults the survivors may all be dead too: the
+                // eviction then takes the retry path instead of
+                // asserting on an empty replica set.
+                const int live =
+                    faultsEnabled_ ? pickRetryTarget(r)
+                                   : pickEngineForArrival();
+                if (live < 0) {
+                    scheduleRetry(r, now_);
+                    continue;
+                }
                 const std::size_t target =
-                    static_cast<std::size_t>(pickEngineForArrival());
+                    static_cast<std::size_t>(live);
                 engines_[target]->enqueue(r);
                 if (LAER_REQ_SAMPLED(config_.reqTrace, r.id))
                     LAER_REQ_EVENT(config_.reqTrace,
@@ -852,6 +920,23 @@ ServingSimulator::pumpArrivals()
         }
         if (lookahead_.arrival > now_)
             break;
+        if (faultsEnabled_) {
+            // Under a total outage the front door closes: the due
+            // arrival holds until a repair brings an engine back (the
+            // repair's own wake drives the clock meanwhile, the
+            // drain-door idiom below).
+            bool any_live = false;
+            for (const auto &engine : engines_) {
+                const EngineState state = engine->state();
+                if (state == EngineState::Active ||
+                    state == EngineState::Loading) {
+                    any_live = true;
+                    break;
+                }
+            }
+            if (!any_live)
+                break;
+        }
         if (config_.policy == ServingPolicy::Disaggregated &&
             engines_[0]->state() != EngineState::Active &&
             engines_[0]->state() != EngineState::Loading)
@@ -1013,11 +1098,26 @@ ServingSimulator::harvestFinished(int pool_index)
             recordCompletion(r);
             continue;
         }
+        if (faultsEnabled_ && linkDown_) {
+            // The boundary link is down: the handover aborts before
+            // touching the wire and the context takes the retry path
+            // (its KV was released at the pool boundary, so the retry
+            // recomputes the prefill).
+            // killed_at is the prefill finish: the harvest runs at
+            // the wake that launched the finishing chunk, so now_
+            // still sits at the chunk start — inside the step span
+            // already attributed as compute.
+            const Seconds finished_at = r.finishTime;
+            abortTransfer(std::move(r), decode_target, finished_at);
+            continue;
+        }
         // Hand the context over: its KV crosses the inter-pool links.
         const Bytes bytes =
             r.contextLength() * kvBytesPerToken(config_.model);
-        const Seconds wire = kvTransferTime(
+        Seconds wire = kvTransferTime(
             cluster_, engines_[0]->slice(), engines_[1]->slice(), bytes);
+        if (faultsEnabled_ && linkFactor_ != 1.0)
+            wire *= linkFactor_; // degraded link: stretched wire time
         LAER_TRACE_SPAN(config_.trace, kvTrack(), "kv_transfer",
                         "serve", r.finishTime, wire,
                         {TraceArg{"id", r.id}, TraceArg{"bytes", bytes},
@@ -1084,6 +1184,521 @@ ServingSimulator::pumpMigrations()
         engines_[0]->batcher().setAdmissionPaused(blocked);
 }
 
+// ---- fault injection (src/fault/) ------------------------------------
+// Every entry point below begins behind faultsEnabled_ (or is only
+// reachable from code that is), so a fault-free run never executes a
+// fault instruction and stays byte-for-byte with its history — the
+// golden gate pins that.
+
+int
+ServingSimulator::faultTrack()
+{
+    return config_.trace->track(obsPrefix() + "faults");
+}
+
+int
+ServingSimulator::deadReplicas() const
+{
+    int dead = 0;
+    for (std::size_t i = 0; i < engines_.size(); ++i)
+        if (faultDownSince_[i] >= 0.0 &&
+            engines_[i]->state() == EngineState::Stopped)
+            ++dead;
+    return dead;
+}
+
+bool
+ServingSimulator::faultActive() const
+{
+    if (linkDown_ || linkFactor_ != 1.0)
+        return true;
+    for (std::size_t i = 0; i < engines_.size(); ++i)
+        if (faultDownSince_[i] >= 0.0 ||
+            stragglerFactor_[i] != 1.0 || deadDevices_[i] > 0)
+            return true;
+    return false;
+}
+
+void
+ServingSimulator::updateDegraded()
+{
+    // Degraded time is the union of all fault conditions: the window
+    // opens at the first active fault and closes when the last one
+    // clears (a repaired replica counts degraded until Active again).
+    const bool degraded = faultActive();
+    if (degraded && degradedSince_ < 0.0) {
+        degradedSince_ = now_;
+        goodTokensAtDegradeStart_ = metrics_.goodTokens();
+    } else if (!degraded && degradedSince_ >= 0.0) {
+        degradedSeconds_ += now_ - degradedSince_;
+        degradedGoodTokens_ +=
+            metrics_.goodTokens() - goodTokensAtDegradeStart_;
+        degradedSince_ = -1.0;
+    }
+}
+
+void
+ServingSimulator::applyFaults()
+{
+    while (nextFault_ < faultPlan_.size() &&
+           faultPlan_[nextFault_].time <= now_)
+        applyFaultEvent(faultPlan_[nextFault_++]);
+    // Deferred fail-stops land at the victim's step boundary: the
+    // in-flight step finishes (its results are real work), THEN the
+    // engine dies. stepOnce() runs this before runDueEngines(), so a
+    // due kill always lands before the victim could start another
+    // step.
+    for (std::size_t i = 0; i < engines_.size(); ++i)
+        if (pendingKill_[i] && freeAt_[i] <= now_)
+            applyKill(i);
+    scheduleFaultWake();
+}
+
+void
+ServingSimulator::applyFaultEvent(const FaultEvent &event)
+{
+    const std::size_t target = static_cast<std::size_t>(std::min(
+        std::max(event.target, 0),
+        static_cast<int>(engines_.size()) - 1));
+    const bool disagg =
+        config_.policy == ServingPolicy::Disaggregated;
+    // No-op events (killing a corpse, healing a healthy link, ...)
+    // are dropped without counting: the timeline records what was
+    // APPLIED, and idempotence keeps seeded storms well-defined.
+    switch (event.kind) {
+    case FaultKind::ReplicaFail: {
+        const EngineState state = engines_[target]->state();
+        if (state == EngineState::Stopped || pendingKill_[target])
+            return;
+        ++faultsInjected_;
+        faultTimeline_.push_back({now_, event.kind,
+                                  static_cast<int>(target),
+                                  event.magnitude});
+        faultDownSince_[target] = now_;
+        LAER_TRACE_INSTANT(config_.trace, faultTrack(),
+                           "replica_fail", "fault", now_,
+                           {TraceArg{"pool",
+                                     static_cast<int>(target)}});
+        pendingKill_[target] = 1;
+        if (state == EngineState::Loading ||
+            state == EngineState::Draining)
+            freeAt_[target] = now_; // no step in flight: die now
+        if (freeAt_[target] <= now_)
+            applyKill(target);
+        updateDegraded();
+        break;
+    }
+    case FaultKind::ReplicaRepair:
+        // Only a fault-killed, already-dead slot rebuilds. A repair
+        // scheduled inside the victim's final step (the kill still
+        // deferred) is lost — a later repair or the autoscaler
+        // rebuilds the slot instead.
+        if (engines_[target]->state() != EngineState::Stopped ||
+            faultDownSince_[target] < 0.0)
+            return;
+        faultTimeline_.push_back({now_, event.kind,
+                                  static_cast<int>(target),
+                                  event.magnitude});
+        applyRepair(target);
+        break;
+    case FaultKind::LinkDown: {
+        if (!disagg || linkDown_)
+            return;
+        ++faultsInjected_;
+        faultTimeline_.push_back({now_, event.kind, 0, 1.0});
+        linkDown_ = true;
+        LAER_TRACE_INSTANT(config_.trace, faultTrack(), "link_down",
+                           "fault", now_,
+                           {TraceArg{"in_flight",
+                                     static_cast<int>(
+                                         migrations_.size())}});
+        // Transfers die on the wire: abort-and-retry each one.
+        std::deque<PendingMigration> inflight;
+        inflight.swap(migrations_);
+        for (PendingMigration &m : inflight) {
+            // The full wire span was attributed at harvest, so the
+            // retry dead time starts at the wire's would-be end (the
+            // backoff usually expires earlier; the wait clamps to 0).
+            const TokenCount decode_target = m.request.decodeTokens;
+            abortTransfer(std::move(m.request), decode_target,
+                          m.readyAt);
+        }
+        scheduleMigrationWake();
+        updateDegraded();
+        break;
+    }
+    case FaultKind::LinkUp:
+        if (!disagg || (!linkDown_ && linkFactor_ == 1.0))
+            return;
+        faultTimeline_.push_back({now_, event.kind, 0, 1.0});
+        linkDown_ = false;
+        linkFactor_ = 1.0;
+        LAER_TRACE_INSTANT(config_.trace, faultTrack(), "link_up",
+                           "fault", now_, {TraceArg{"factor", 1.0}});
+        updateDegraded();
+        break;
+    case FaultKind::LinkDegrade:
+        if (!disagg || event.magnitude <= 0.0 || linkDown_ ||
+            linkFactor_ == event.magnitude)
+            return;
+        ++faultsInjected_;
+        faultTimeline_.push_back({now_, event.kind, 0,
+                                  event.magnitude});
+        linkFactor_ = event.magnitude;
+        LAER_TRACE_INSTANT(config_.trace, faultTrack(),
+                           "link_degrade", "fault", now_,
+                           {TraceArg{"factor", event.magnitude}});
+        updateDegraded();
+        break;
+    case FaultKind::StragglerStart:
+        if (engines_[target]->state() == EngineState::Stopped ||
+            event.magnitude <= 0.0 ||
+            stragglerFactor_[target] == event.magnitude)
+            return;
+        ++faultsInjected_;
+        faultTimeline_.push_back({now_, event.kind,
+                                  static_cast<int>(target),
+                                  event.magnitude});
+        stragglerFactor_[target] = event.magnitude;
+        LAER_TRACE_INSTANT(config_.trace, faultTrack(), "straggler",
+                           "fault", now_,
+                           {TraceArg{"pool",
+                                     static_cast<int>(target)},
+                            TraceArg{"factor", event.magnitude}});
+        updateDegraded();
+        break;
+    case FaultKind::StragglerEnd:
+        if (stragglerFactor_[target] == 1.0)
+            return;
+        faultTimeline_.push_back({now_, event.kind,
+                                  static_cast<int>(target), 1.0});
+        stragglerFactor_[target] = 1.0;
+        LAER_TRACE_INSTANT(config_.trace, faultTrack(),
+                           "straggler_end", "fault", now_,
+                           {TraceArg{"pool",
+                                     static_cast<int>(target)}});
+        updateDegraded();
+        break;
+    case FaultKind::DeviceFail: {
+        if (engines_[target]->state() == EngineState::Stopped)
+            return;
+        const int total = slices_[target].numDevices();
+        const int dead = std::min(
+            total - 1,
+            deadDevices_[target] +
+                std::max(1, static_cast<int>(event.magnitude)));
+        if (dead == deadDevices_[target])
+            return; // the slice keeps at least one survivor
+        ++faultsInjected_;
+        faultTimeline_.push_back({now_, event.kind,
+                                  static_cast<int>(target),
+                                  static_cast<double>(dead)});
+        deadDevices_[target] = dead;
+        LAER_TRACE_INSTANT(config_.trace, faultTrack(),
+                           "device_fail", "fault", now_,
+                           {TraceArg{"pool",
+                                     static_cast<int>(target)},
+                            TraceArg{"dead", dead}});
+        resizePoolKv(target);
+        updateDegraded();
+        break;
+    }
+    case FaultKind::DeviceRepair:
+        if (deadDevices_[target] == 0)
+            return;
+        faultTimeline_.push_back({now_, event.kind,
+                                  static_cast<int>(target), 0.0});
+        deadDevices_[target] = 0;
+        LAER_TRACE_INSTANT(config_.trace, faultTrack(),
+                           "device_repair", "fault", now_,
+                           {TraceArg{"pool",
+                                     static_cast<int>(target)}});
+        resizePoolKv(target);
+        updateDegraded();
+        break;
+    }
+}
+
+void
+ServingSimulator::resizePoolKv(std::size_t i)
+{
+    // Graceful degradation: the pool's KV budget shrinks to the
+    // survivors' share, admission shrinks with it, and requests whose
+    // full context can no longer EVER fit are failed rather than
+    // wedged (byte-accounting runs only; slot-mode pools degrade
+    // through the replica/straggler paths instead).
+    const int total = slices_[i].numDevices();
+    const Bytes full = poolKvBudgetFor(total);
+    if (full == 0 || engines_[i]->state() == EngineState::Stopped)
+        return;
+    const Bytes budget =
+        full * static_cast<Bytes>(total - deadDevices_[i]) /
+        static_cast<Bytes>(total);
+    std::vector<Request> unservable =
+        engines_[i]->resizeKvBudget(budget);
+    for (const Request &r : unservable)
+        failRequest(r);
+    scheduleEngineWake(i);
+}
+
+void
+ServingSimulator::applyKill(std::size_t i)
+{
+    pendingKill_[i] = 0;
+    // The dying engine's completed work is real (its last step
+    // committed at the step boundary we deferred to); only the live
+    // queue is lost.
+    harvestFinished(static_cast<int>(i));
+    accruePower(now_);
+    std::vector<Request> evicted = engines_[i]->drain();
+    emitRetuneSpans(i);
+    LAER_TRACE_INSTANT(config_.trace, faultTrack(), "replica_dead",
+                       "fault", now_,
+                       {TraceArg{"pool", static_cast<int>(i)},
+                        TraceArg{"evicted",
+                                 static_cast<int>(evicted.size())}});
+    // drain() already gave every eviction the KV-loss recompute
+    // disposition (restoring = decodeDone > 0, prefill progress
+    // cleared); the retry queue re-admits them after backoff.
+    for (Request &r : evicted)
+        scheduleRetry(std::move(r), now_);
+    scheduleEngineWake(i); // cancels: a dead engine never wakes
+}
+
+void
+ServingSimulator::applyRepair(std::size_t i)
+{
+    // The rebuild is the requestReplicas() spin-up idiom: a fresh
+    // engine behind its model-load delay, priced over the host link.
+    // A rebuilt slice comes back whole: stragglers and dead devices
+    // do not survive the reimage.
+    accruePower(now_);
+    retireEngineCounters(i);
+    deadDevices_[i] = 0;
+    stragglerFactor_[i] = 1.0;
+    engines_[i] = std::make_unique<ServingEngine>(
+        slices_[i], engineConfigFor(slices_[i], static_cast<int>(i)),
+        EngineState::Loading);
+    const Seconds delay = loadDelayFor(slices_[i]);
+    freeAt_[i] = now_ + delay;
+    scheduleEngineWake(i);
+    ScalingEvent event;
+    event.requested = now_;
+    event.applied = now_ + delay;
+    event.action = "repair";
+    event.before = activeReplicas();
+    event.after = event.before + 1;
+    event.loadDelay = delay;
+    scalingEvents_.push_back(event);
+    emitScalingEvent(event);
+}
+
+void
+ServingSimulator::abortTransfer(Request request,
+                                TokenCount decode_target,
+                                Seconds killed_at)
+{
+    // A dead boundary link cut this context's handover. Its KV was
+    // released at the pool boundary, so the retry re-runs the prefill
+    // (recompute disposition) back in the prefill pool and re-earns
+    // the handover; the decode target is re-parked until then.
+    ++transfersAborted_;
+    LAER_TRACE_INSTANT(config_.trace, faultTrack(), "transfer_abort",
+                       "fault", now_,
+                       {TraceArg{"id", request.id},
+                        TraceArg{"context",
+                                 request.contextLength()}});
+    decodeTargets_[request.id] =
+        std::max<TokenCount>(decode_target, 2);
+    request.decodeTokens = 1;
+    request.restoring = request.decodeDone > 0;
+    request.prefillDone = 0;
+    request.finishTime = -1.0;
+    scheduleRetry(std::move(request), killed_at);
+}
+
+void
+ServingSimulator::scheduleRetry(Request request, Seconds killed_at)
+{
+    ++request.retries;
+    if (request.retries > config_.faults.retryBudget) {
+        failRequest(request);
+        return;
+    }
+    ++requestsRetried_;
+    // Capped exponential backoff: attempt k waits
+    // min(cap, base * 2^(k-1)).
+    Seconds backoff = config_.faults.backoffBase;
+    for (int k = 1;
+         k < request.retries && backoff < config_.faults.backoffCap;
+         ++k)
+        backoff *= 2.0;
+    backoff = std::min(backoff, config_.faults.backoffCap);
+    LAER_TRACE_INSTANT(config_.trace, faultTrack(), "retry", "fault",
+                       now_,
+                       {TraceArg{"id", request.id},
+                        TraceArg{"attempt", request.retries},
+                        TraceArg{"backoff_s", backoff}});
+    PendingRetry retry;
+    retry.killedAt = killed_at;
+    retry.readyAt = now_ + backoff;
+    retry.request = std::move(request);
+    // Sorted by readyAt; ties keep insertion order (stable), so the
+    // walk order is a pure function of the fault history.
+    retryQueue_.insert(
+        std::upper_bound(retryQueue_.begin(), retryQueue_.end(),
+                         retry,
+                         [](const PendingRetry &a,
+                            const PendingRetry &b) {
+                             return a.readyAt < b.readyAt;
+                         }),
+        std::move(retry));
+    scheduleRetryWake();
+}
+
+void
+ServingSimulator::failRequest(const Request &request)
+{
+    // Failed, not hung: the request leaves the system explicitly and
+    // the conservation identity counts it
+    // (offered == completed + in-flight + retrying + failed).
+    ++requestsFailed_;
+    if (request.sloClass >= 0 &&
+        static_cast<std::size_t>(request.sloClass) <
+            failedByClass_.size())
+        ++failedByClass_[static_cast<std::size_t>(request.sloClass)];
+    decodeTargets_.erase(request.id);
+    LAER_TRACE_INSTANT(config_.trace, faultTrack(), "request_failed",
+                       "fault", now_,
+                       {TraceArg{"id", request.id},
+                        TraceArg{"class", request.sloClass},
+                        TraceArg{"retries", request.retries}});
+    if (LAER_REQ_SAMPLED(config_.reqTrace, request.id))
+        LAER_REQ_EVENT(config_.reqTrace,
+                       onFailed(request.id, now_));
+}
+
+int
+ServingSimulator::pickRetryTarget(const Request &request) const
+{
+    if (config_.policy == ServingPolicy::Disaggregated) {
+        // Phase affinity: a context still owed its prefill goes back
+        // to the prefill pool, a decode-resident one to the decode
+        // pool. While the boundary link is down a prefill-side retry
+        // holds — re-running its prefill would only reach the same
+        // dead boundary and burn the retry budget; the LinkUp event
+        // is the revival it waits on.
+        const int pool =
+            decodeTargets_.count(request.id) != 0 ? 0 : 1;
+        if (pool == 0 && linkDown_)
+            return -1;
+        const EngineState state = engines_[pool]->state();
+        return state == EngineState::Active ||
+                       state == EngineState::Loading
+                   ? pool
+                   : -1;
+    }
+    int best = -1;
+    int best_load = 0;
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+        const EngineState state = engines_[i]->state();
+        if (state != EngineState::Active &&
+            state != EngineState::Loading)
+            continue;
+        const int load = engines_[i]->batcher().waitingCount() +
+                         engines_[i]->batcher().runningCount();
+        if (best < 0 || load < best_load) {
+            best = static_cast<int>(i);
+            best_load = load;
+        }
+    }
+    return best;
+}
+
+bool
+ServingSimulator::reviveExpected() const
+{
+    for (const auto &engine : engines_)
+        if (engine->state() == EngineState::Loading)
+            return true;
+    for (std::size_t e = nextFault_; e < faultPlan_.size(); ++e) {
+        if (faultPlan_[e].kind == FaultKind::ReplicaRepair)
+            return true;
+        if (linkDown_ && faultPlan_[e].kind == FaultKind::LinkUp)
+            return true;
+    }
+    return false;
+}
+
+void
+ServingSimulator::pumpRetries()
+{
+    while (!retryQueue_.empty() &&
+           retryQueue_.front().readyAt <= now_) {
+        const int target =
+            pickRetryTarget(retryQueue_.front().request);
+        if (target < 0) {
+            if (reviveExpected())
+                break; // a revival is coming: hold the front
+            // Nothing will ever serve this request again: fail it
+            // now rather than hang the drain.
+            PendingRetry retry = std::move(retryQueue_.front());
+            retryQueue_.pop_front();
+            failRequest(retry.request);
+            continue;
+        }
+        PendingRetry retry = std::move(retryQueue_.front());
+        retryQueue_.pop_front();
+        if (LAER_REQ_SAMPLED(config_.reqTrace, retry.request.id))
+            LAER_REQ_EVENT(config_.reqTrace,
+                           onRetryWait(retry.request.id,
+                                       retry.killedAt, now_));
+        // Re-admission at class FRONT: the retry already waited out
+        // its failure and must not queue behind the backlog again.
+        engines_[static_cast<std::size_t>(target)]->enqueueFront(
+            retry.request);
+        scheduleEngineWake(static_cast<std::size_t>(target));
+    }
+    scheduleRetryWake();
+}
+
+void
+ServingSimulator::scheduleFaultWake()
+{
+    Seconds t = kNever;
+    if (nextFault_ < faultPlan_.size() &&
+        faultPlan_[nextFault_].time > now_)
+        t = faultPlan_[nextFault_].time;
+    for (std::size_t i = 0; i < engines_.size(); ++i)
+        if (pendingKill_[i] && freeAt_[i] > now_)
+            t = std::min(t, freeAt_[i]);
+    if (t == kNever) {
+        calendar_.cancel(faultWake_);
+        return;
+    }
+    if (calendar_.scheduled(faultWake_) &&
+        calendar_.timeOf(faultWake_) == t)
+        return;
+    calendar_.schedule(faultWake_, t);
+}
+
+void
+ServingSimulator::scheduleRetryWake()
+{
+    // A due-but-blocked retry front is not an event (the arrival-door
+    // idiom): pumpRetries re-evaluates it each step, and the revival
+    // it waits on has its own wake.
+    if (retryQueue_.empty() || retryQueue_.front().readyAt <= now_) {
+        calendar_.cancel(retryWake_);
+        return;
+    }
+    const Seconds ready = retryQueue_.front().readyAt;
+    if (calendar_.scheduled(retryWake_) &&
+        calendar_.timeOf(retryWake_) == ready)
+        return;
+    calendar_.schedule(retryWake_, ready);
+}
+
 bool
 ServingSimulator::runDueEngines()
 {
@@ -1132,6 +1747,10 @@ ServingSimulator::runDueEngines()
         } else {
             res = engine.executeStep(plan, now_);
         }
+        if (faultsEnabled_ && stragglerFactor_[i] != 1.0)
+            // A transient straggler stretches the whole step on the
+            // timeline; the token counts are untouched.
+            res.duration *= stragglerFactor_[i];
         res.pool = static_cast<int>(i);
         res.preemptions = static_cast<int>(preempted.size());
         if (engine.batcher().kvEnabled()) {
@@ -1252,6 +1871,21 @@ ServingSimulator::legacyNextEventTime() const
         t = std::min(t, lookahead_.arrival);
     if (!migrations_.empty() && migrations_.front().readyAt > now_)
         t = std::min(t, migrations_.front().readyAt);
+    if (faultsEnabled_) {
+        // Mirror of scheduleFaultWake()/scheduleRetryWake(): the next
+        // scripted event, any deferred kill boundary, and the retry
+        // front. Due-but-blocked retries are not events (pumpRetries
+        // re-evaluates them; a revival's own wake drives the clock).
+        if (nextFault_ < faultPlan_.size() &&
+            faultPlan_[nextFault_].time > now_)
+            t = std::min(t, faultPlan_[nextFault_].time);
+        for (std::size_t i = 0; i < engines_.size(); ++i)
+            if (pendingKill_[i] && freeAt_[i] > now_)
+                t = std::min(t, freeAt_[i]);
+        if (!retryQueue_.empty() &&
+            retryQueue_.front().readyAt > now_)
+            t = std::min(t, retryQueue_.front().readyAt);
+    }
     return t;
 }
 
@@ -1294,8 +1928,12 @@ ServingSimulator::step()
 bool
 ServingSimulator::stepOnce()
 {
+    if (faultsEnabled_)
+        applyFaults();
     applyReconfig();
     pumpArrivals();
+    if (faultsEnabled_)
+        pumpRetries();
     pumpMigrations();
     if (runDueEngines())
         return true;
@@ -1310,6 +1948,8 @@ ServingSimulator::stepOnce()
                     "run ended with contexts in flight");
         LAER_ASSERT(!pending_.active,
                     "run ended mid-reconfiguration");
+        LAER_ASSERT(retryQueue_.empty(),
+                    "run ended with retries parked");
         return false;
     }
     LAER_ASSERT(t > now_, "simulation failed to advance");
@@ -1334,7 +1974,9 @@ ServingSimulator::stepWindow()
     // rebuilds, held queues), so the windowed core falls back to the
     // per-event serial path until the topology settles. The fallback
     // is itself deterministic, preserving thread-count equivalence.
-    if (reconfigPending())
+    // Fault plans couple them the same way (retries hop engines, kills
+    // re-home), so a faulted run stays on the serial core throughout.
+    if (faultsEnabled_ || reconfigPending())
         return stepOnce();
 
     // The window runs to the next control barrier or snapshot
@@ -1884,6 +2526,35 @@ ServingSimulator::buildReport() const
         report.profEventLoopMs =
             std::max(0.0, profStepMs_ - profExecMs_);
     }
+
+    // Availability accounting (all zero on fault-free runs). A report
+    // built mid-run (finish() after manual step()ping) closes the
+    // still-open degraded window against now_ without mutating it.
+    AvailabilityReport &avail = report.availability;
+    avail.faultsInjected = faultsInjected_;
+    avail.repairs = repairsDone_;
+    avail.requestsRetried = requestsRetried_;
+    avail.requestsFailed = requestsFailed_;
+    avail.transfersAborted = transfersAborted_;
+    for (const Seconds sample : mttrSamples_) {
+        avail.mttrMean += sample;
+        avail.mttrMax = std::max(avail.mttrMax, sample);
+    }
+    if (!mttrSamples_.empty())
+        avail.mttrMean /= static_cast<double>(mttrSamples_.size());
+    Seconds degraded = degradedSeconds_;
+    std::int64_t degraded_tokens = degradedGoodTokens_;
+    if (degradedSince_ >= 0.0) {
+        degraded += now_ - degradedSince_;
+        degraded_tokens +=
+            metrics_.goodTokens() - goodTokensAtDegradeStart_;
+    }
+    avail.degradedSeconds = degraded;
+    if (degraded > 0.0)
+        avail.degradedGoodputTps =
+            static_cast<double>(degraded_tokens) / degraded;
+    avail.failedByClass = failedByClass_;
+    avail.timeline = faultTimeline_;
     return report;
 }
 

@@ -54,6 +54,7 @@
 
 #include "core/event_calendar.hh"
 #include "core/stats.hh"
+#include "fault/fault.hh"
 #include "model/config.hh"
 #include "model/memory.hh"
 #include "obs/obs.hh"
@@ -134,6 +135,10 @@ struct ServingConfig
     int flexMaxMoves = 2;      //!< FlexMoE adjustments per step
     DisaggConfig disagg;       //!< pool split (Disaggregated only)
     ReplicaConfig replicas;    //!< replica slicing (aggregated only)
+    /** Fault-injection plan (src/fault/). Strictly opt-in: with
+     * `faults.enabled()` false (the default) no fault code path runs
+     * and the simulation stays byte-for-byte with its history. */
+    FaultConfig faults;
     double hostLinkBw = kHostLinkBw; //!< PCIe rate for swap preemption
                                //!< and control-plane model loads
     Seconds sloTtft = 0.5;     //!< TTFT target for goodput accounting
@@ -239,6 +244,23 @@ struct ControlWindowSample
     Seconds tpotP95 = 0.0;
 };
 
+/** Availability section of a faulted run's report (all zero /
+ * empty when ServingConfig::faults is disabled). */
+struct AvailabilityReport
+{
+    std::int64_t faultsInjected = 0;  //!< fault events applied
+    std::int64_t repairs = 0;         //!< fault-killed replicas rebuilt
+    std::int64_t requestsRetried = 0; //!< backoff re-queues scheduled
+    std::int64_t requestsFailed = 0;  //!< retry budget exhausted
+    std::int64_t transfersAborted = 0; //!< KV transfers cut by a dead link
+    Seconds mttrMean = 0.0;   //!< mean fault -> Active-again time
+    Seconds mttrMax = 0.0;    //!< worst repair
+    Seconds degradedSeconds = 0.0; //!< time with any fault active
+    double degradedGoodputTps = 0.0; //!< goodput while degraded
+    std::vector<std::int64_t> failedByClass; //!< per SLO class
+    std::vector<FaultEvent> timeline; //!< applied events, in order
+};
+
 /** Summary of a full serving run. */
 struct ServingReport
 {
@@ -302,6 +324,9 @@ struct ServingReport
     std::vector<std::array<AttributionComponentStats,
                            kNumAttrComponents>>
         attributionByClass;
+
+    /** Fault/recovery accounting (zeros when faults are disabled). */
+    AvailabilityReport availability;
 };
 
 /**
@@ -401,6 +426,26 @@ class ServingSimulator
 
     /** Requests offered so far (the control plane's arrival counter). */
     std::int64_t offeredRequests() const { return offered_; }
+
+    // ---- fault-injection signals (src/fault/, zeros when off) ------
+
+    /** Fault events applied so far. */
+    std::int64_t faultsSoFar() const { return faultsInjected_; }
+
+    /** Fault-killed replicas rebuilt back to Active so far. */
+    std::int64_t repairsSoFar() const { return repairsDone_; }
+
+    /** Requests that exhausted their retry budget so far. */
+    std::int64_t failedSoFar() const { return requestsFailed_; }
+
+    /** Requests currently waiting out a retry backoff. */
+    int retryingNow() const
+    {
+        return static_cast<int>(retryQueue_.size());
+    }
+
+    /** Engines currently dead from an unrepaired fault. */
+    int deadReplicas() const;
 
     /** Transfer-stall seconds accumulated so far. */
     Seconds transferStallSoFar() const { return transferStallSeconds_; }
@@ -502,6 +547,75 @@ class ServingSimulator
     /** step() body (step() wraps it with snapshots + profiling). */
     bool stepOnce();
 
+    // ---- fault injection (src/fault/; all no-ops when disabled) ----
+
+    /** Apply fault-plan events due at now_, then any deferred
+     * fail-stop whose engine has reached its busy-until. */
+    void applyFaults();
+
+    /** Apply one fault event at now_ (idempotent per kind). */
+    void applyFaultEvent(const FaultEvent &event);
+
+    /** Fail-stop engine `i` NOW: harvest its completed requests,
+     * drain the rest into the retry queue (KV lost — recompute
+     * disposition), and leave the slot Stopped until a repair or the
+     * autoscaler rebuilds it. */
+    void applyKill(std::size_t i);
+
+    /** Rebuild a fault-killed slot behind its model-load delay
+     * (scripted ReplicaRepair; autoscaler rebuilds take the
+     * requestReplicas() path and close the same MTTR clock). */
+    void applyRepair(std::size_t i);
+
+    /** Queue `request` for re-admission after its capped exponential
+     * backoff; counts it failed once past the retry budget. */
+    void scheduleRetry(Request request, Seconds killed_at);
+
+    /** Count `request` failed (budget exhausted / unservable). */
+    void failRequest(const Request &request);
+
+    /** Abort a KV handover cut by a dead boundary link: the context
+     * re-parks its decode target and retries through the prefill pool
+     * (recompute — the KV was released at the pool boundary).
+     * `killed_at` is the instant through which the request's prior
+     * work has already been attributed (the prefill finish for a
+     * handover that never touched the wire, the wire's would-be end
+     * for one cut in flight) — the retry dead time starts there, not
+     * at the calendar event that noticed the cut, so the per-request
+     * attribution stays exact. */
+    void abortTransfer(Request request, TokenCount decode_target,
+                       Seconds killed_at);
+
+    /** Re-derive engine `i`'s KV budget from its surviving devices
+     * (byte-accounting runs only); unservable requests fail. */
+    void resizePoolKv(std::size_t i);
+
+    /** Re-admit retries whose backoff has elapsed at class front;
+     * fail-fast when no engine can ever serve them again. */
+    void pumpRetries();
+
+    /** Engine a retried request re-enters, or -1 when none is live
+     * (Disaggregated retries go back to their phase's pool). */
+    int pickRetryTarget(const Request &request) const;
+
+    /** True while a currently-unservable retry should keep waiting:
+     * an engine is Loading, or the plan still holds a repair. */
+    bool reviveExpected() const;
+
+    /** Refresh the fault-plan calendar entry (next scripted event or
+     * deferred-kill boundary). */
+    void scheduleFaultWake();
+
+    /** Refresh the retry-front calendar entry. */
+    void scheduleRetryWake();
+
+    /** Re-evaluate the degraded predicate after any fault-state
+     * transition; accrues degraded time and its goodput window. */
+    void updateDegraded();
+
+    /** Any fault condition currently active? */
+    bool faultActive() const;
+
     // ---- windowed event core (ServingConfig::desParallel) ----------
 
     /** One engine step recorded off the simulator thread, replayed in
@@ -583,6 +697,9 @@ class ServingSimulator
     /** Get-or-create the shared kv_transfer / control tracks. */
     int kvTrack();
     int controlTrack();
+
+    /** Get-or-create the shared faults track. */
+    int faultTrack();
 
     /** Emit retune spans for engine `i`'s wall samples recorded since
      * the last call (tracked by retuneSeen_). */
@@ -680,6 +797,38 @@ class ServingSimulator
     std::vector<EventCalendar::Handle> engineWake_;
     EventCalendar::Handle arrivalWake_ = EventCalendar::kInvalidHandle;
     EventCalendar::Handle migrationWake_ = EventCalendar::kInvalidHandle;
+    EventCalendar::Handle faultWake_ = EventCalendar::kInvalidHandle;
+    EventCalendar::Handle retryWake_ = EventCalendar::kInvalidHandle;
+
+    // Fault-injection state (src/fault/; untouched when disabled).
+    struct PendingRetry
+    {
+        Request request;
+        Seconds killedAt = 0.0; //!< eviction time (attribution span)
+        Seconds readyAt = 0.0;  //!< backoff elapses here
+    };
+    bool faultsEnabled_ = false; //!< resolved config_.faults.enabled()
+    std::vector<FaultEvent> faultPlan_; //!< expanded, time-sorted
+    std::size_t nextFault_ = 0;         //!< walk cursor into the plan
+    std::vector<char> pendingKill_;     //!< fail-stop due at freeAt_[i]
+    std::vector<double> stragglerFactor_; //!< per-engine step slowdown
+    std::vector<int> deadDevices_;      //!< masked devices per engine
+    std::vector<Seconds> faultDownSince_; //!< MTTR clock start, or -1
+    double linkFactor_ = 1.0; //!< boundary-link wire multiplier
+    bool linkDown_ = false;   //!< boundary link fail-stopped
+    std::deque<PendingRetry> retryQueue_;   //!< sorted by readyAt
+    std::vector<FaultEvent> faultTimeline_; //!< applied events
+    std::vector<Seconds> mttrSamples_;
+    std::int64_t faultsInjected_ = 0;
+    std::int64_t repairsDone_ = 0;
+    std::int64_t requestsRetried_ = 0;
+    std::int64_t requestsFailed_ = 0;
+    std::int64_t transfersAborted_ = 0;
+    std::vector<std::int64_t> failedByClass_;
+    Seconds degradedSince_ = -1.0; //!< < 0 while healthy
+    Seconds degradedSeconds_ = 0.0;
+    std::int64_t goodTokensAtDegradeStart_ = 0;
+    std::int64_t degradedGoodTokens_ = 0;
 
     // Windowed event core state.
     bool desParallel_ = false;   //!< resolved config_.desParallel

@@ -209,10 +209,11 @@ TEST(StreamInvariants, DetectBrokenConservationAndMonotonicity)
 
 TEST(Lanes, CatalogIsRegisteredAndLookableUp)
 {
-    ASSERT_EQ(equivalenceLanes().size(), 6u);
+    ASSERT_EQ(equivalenceLanes().size(), 7u);
     for (const char *name :
          {"threads", "serial-vs-parallel-des", "metrics-mode",
-          "control-none", "swap-recompute", "dense-sparse"})
+          "control-none", "swap-recompute", "fault-determinism",
+          "dense-sparse"})
         EXPECT_NE(laneByName(name), nullptr) << name;
     EXPECT_EQ(laneByName("no-such-lane"), nullptr);
 }
@@ -279,14 +280,18 @@ TEST(Golden, ParserRejectsGarbage)
 
 TEST(Golden, CanonicalScenarioIsStableWithinProcess)
 {
-    // Two captures of the canonical scenario must agree exactly —
-    // the in-process half of the cross-process byte-stability gate.
-    std::stringstream buffer;
-    writeGoldenJson(buffer, captureGoldenStream());
-    const DiffReport report =
-        checkAgainstGolden(readGoldenJson(buffer));
-    EXPECT_TRUE(report.identical()) << report.toText();
-    EXPECT_GT(report.comparisons, 0u);
+    // Two captures of each family's canonical scenario must agree
+    // exactly — the in-process half of the cross-process
+    // byte-stability gate, over the whole policy-family catalog.
+    for (const std::string &family : goldenFamilies()) {
+        std::stringstream buffer;
+        writeGoldenJson(buffer, captureGoldenStream(family));
+        const DiffReport report =
+            checkAgainstGolden(readGoldenJson(buffer), family);
+        EXPECT_TRUE(report.identical())
+            << family << ": " << report.toText();
+        EXPECT_GT(report.comparisons, 0u) << family;
+    }
 }
 
 // ---- shrinker ---------------------------------------------------------------

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Tests for the fault-injection subsystem (src/fault/) and its
+ * serve-layer recovery semantics: plan expansion/parsing, request
+ * conservation across replica death, retry-budget exhaustion, KV-loss
+ * recompute accounting under exact attribution, dead-link transfer
+ * aborts, degraded-pool admission shrink, and determinism of a
+ * faulted run.
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/error.hh"
+#include "ctrl/control_loop.hh"
+#include "fault/fault.hh"
+#include "obs/req_trace.hh"
+#include "serve/serving_sim.hh"
+#include "topo/cluster.hh"
+
+namespace laer
+{
+namespace
+{
+
+// ---- plan expansion and parsing --------------------------------------------
+
+TEST(FaultPlan, ScriptedEventsSortStably)
+{
+    FaultConfig cfg;
+    cfg.events.push_back({2.0, FaultKind::ReplicaRepair, 1, 1.0});
+    cfg.events.push_back({1.0, FaultKind::ReplicaFail, 1, 1.0});
+    cfg.events.push_back({1.0, FaultKind::ReplicaFail, 0, 1.0});
+    const std::vector<FaultEvent> plan = expandFaultPlan(cfg, 2, 10.0);
+    ASSERT_EQ(plan.size(), 3u);
+    EXPECT_EQ(plan[0].target, 0);
+    EXPECT_EQ(plan[1].target, 1);
+    EXPECT_EQ(plan[2].kind, FaultKind::ReplicaRepair);
+}
+
+TEST(FaultPlan, MtbfDrawsAreSeededAndPaired)
+{
+    FaultConfig cfg;
+    cfg.mtbf = 2.0;
+    cfg.mttr = 0.5;
+    cfg.seed = 7;
+    const std::vector<FaultEvent> a = expandFaultPlan(cfg, 4, 30.0);
+    const std::vector<FaultEvent> b = expandFaultPlan(cfg, 4, 30.0);
+    ASSERT_FALSE(a.empty());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].time, b[i].time);
+        EXPECT_EQ(a[i].kind, b[i].kind);
+        EXPECT_EQ(a[i].target, b[i].target);
+    }
+    // Every drawn failure carries its repair, mttr later.
+    int fails = 0, repairs = 0;
+    for (const FaultEvent &e : a) {
+        fails += e.kind == FaultKind::ReplicaFail;
+        repairs += e.kind == FaultKind::ReplicaRepair;
+    }
+    EXPECT_EQ(fails, repairs);
+}
+
+TEST(FaultPlan, ParsesPlanFileAndRejectsGarbage)
+{
+    const std::string path = "/tmp/laer_test_fault_plan.txt";
+    {
+        std::ofstream out(path);
+        out << "# storm\n"
+            << "retry-budget 5\n"
+            << "backoff 0.01 0.25\n"
+            << "at 1.5 replica-fail 0\n"
+            << "at 2.5 replica-repair 0\n"
+            << "at 3.0 link-degrade 0 2.5  # slow wire\n";
+    }
+    const FaultConfig cfg = parseFaultPlanFile(path);
+    EXPECT_EQ(cfg.retryBudget, 5);
+    EXPECT_DOUBLE_EQ(cfg.backoffBase, 0.01);
+    EXPECT_DOUBLE_EQ(cfg.backoffCap, 0.25);
+    ASSERT_EQ(cfg.events.size(), 3u);
+    EXPECT_EQ(cfg.events[2].kind, FaultKind::LinkDegrade);
+    EXPECT_DOUBLE_EQ(cfg.events[2].magnitude, 2.5);
+    EXPECT_TRUE(cfg.enabled());
+    {
+        std::ofstream out(path);
+        out << "at 1.0 replica-melt 0\n";
+    }
+    EXPECT_THROW(parseFaultPlanFile(path), FatalError);
+    std::remove(path.c_str());
+}
+
+// ---- serving recovery semantics --------------------------------------------
+
+ServingConfig
+faultReplicaConfig(double rate)
+{
+    ServingConfig cfg;
+    cfg.model = mixtral8x7bE8K2();
+    cfg.capacity = 2;
+    cfg.simulatedLayers = 2;
+    cfg.horizon = 4.0;
+    cfg.sloTtft = 0.5;
+    cfg.arrival.kind = ArrivalKind::Poisson;
+    cfg.arrival.ratePerSec = rate;
+    cfg.arrival.meanPrefillTokens = 128;
+    cfg.arrival.meanDecodeTokens = 16;
+    cfg.arrival.seed = 5;
+    cfg.batcher.tokenBudget = 8192;
+    cfg.batcher.prefillChunk = 512;
+    cfg.replicas.replicaDevices = 4;
+    cfg.seed = 11;
+    return cfg;
+}
+
+TEST(FaultRecovery, ConservesRequestsAcrossReplicaDeath)
+{
+    const Cluster cluster(2, 4, 300e9, 12.5e9, 212e12);
+    ServingConfig cfg = faultReplicaConfig(30.0);
+    cfg.faults.events.push_back({1.0, FaultKind::ReplicaFail, 1, 1.0});
+    cfg.faults.events.push_back(
+        {2.0, FaultKind::ReplicaRepair, 1, 1.0});
+    ServingSimulator sim(cluster, cfg);
+    const ServingReport report = sim.run();
+
+    // Zero requests lost: every admitted request retires or is
+    // explicitly counted failed — and with a live survivor plus a
+    // repair, none should need to fail at all.
+    EXPECT_EQ(report.offered,
+              report.completed + report.availability.requestsFailed);
+    EXPECT_EQ(report.availability.requestsFailed, 0);
+    EXPECT_GT(report.availability.requestsRetried, 0);
+    EXPECT_EQ(report.availability.faultsInjected, 1);
+    EXPECT_EQ(report.availability.repairs, 1);
+    EXPECT_GT(report.availability.mttrMean, 0.0);
+    EXPECT_GE(report.availability.mttrMax,
+              report.availability.mttrMean);
+    EXPECT_GT(report.availability.degradedSeconds, 0.0);
+    ASSERT_EQ(report.availability.timeline.size(), 2u);
+    EXPECT_EQ(report.availability.timeline[0].kind,
+              FaultKind::ReplicaFail);
+}
+
+TEST(FaultRecovery, RetryBudgetExhaustionCountsFailedNotHung)
+{
+    const Cluster cluster(2, 4, 300e9, 12.5e9, 212e12);
+    ServingConfig cfg = faultReplicaConfig(30.0);
+    // Budget 0: the first re-queue already exceeds it, so every
+    // request evicted by the kill fails immediately even though the
+    // second replica stays live.
+    cfg.faults.retryBudget = 0;
+    cfg.faults.events.push_back({1.0, FaultKind::ReplicaFail, 0, 1.0});
+    ServingSimulator sim(cluster, cfg);
+    const ServingReport report = sim.run();
+
+    EXPECT_GT(report.availability.requestsFailed, 0);
+    EXPECT_EQ(report.offered,
+              report.completed + report.availability.requestsFailed);
+    EXPECT_EQ(report.availability.requestsRetried, 0);
+    // Per-class accounting covers every failure.
+    std::int64_t by_class = 0;
+    for (const std::int64_t n : report.availability.failedByClass)
+        by_class += n;
+    EXPECT_EQ(by_class, report.availability.requestsFailed);
+}
+
+TEST(FaultRecovery, AllReplicasDeadFailsFastInsteadOfHanging)
+{
+    const Cluster cluster(1, 4, 300e9, 12.5e9, 212e12);
+    ServingConfig cfg = faultReplicaConfig(30.0);
+    cfg.replicas.replicaDevices = 4; // one slot: kill = total outage
+    cfg.faults.events.push_back({1.0, FaultKind::ReplicaFail, 0, 1.0});
+    ServingSimulator sim(cluster, cfg);
+    const ServingReport report = sim.run(); // must terminate
+
+    EXPECT_GT(report.availability.requestsFailed, 0);
+    EXPECT_EQ(report.offered,
+              report.completed + report.availability.requestsFailed);
+}
+
+TEST(FaultRecovery, KvLossRecomputeKeepsAttributionExact)
+{
+    const Cluster cluster(2, 4, 300e9, 12.5e9, 212e12);
+    ServingConfig cfg = faultReplicaConfig(30.0);
+    cfg.faults.events.push_back({1.0, FaultKind::ReplicaFail, 1, 1.0});
+    cfg.faults.events.push_back(
+        {1.8, FaultKind::ReplicaRepair, 1, 1.0});
+    ReqTraceConfig trace_cfg;
+    trace_cfg.sampleEvery = 1; // every request, exact conservation
+    ReqTraceRecorder recorder(trace_cfg);
+    cfg.reqTrace = &recorder;
+    ServingSimulator sim(cluster, cfg);
+    const ServingReport report = sim.run();
+
+    // Every retirement re-summed bit-exactly even with retry_recovery
+    // spans in the breakdown, and the retried requests' dead time
+    // landed in the new component.
+    EXPECT_TRUE(recorder.violations().empty());
+    EXPECT_GT(recorder.sampledRetries(), 0);
+    EXPECT_EQ(recorder.sampledRetired() + recorder.sampledFailed(),
+              report.completed + report.availability.requestsFailed);
+    ASSERT_FALSE(report.attributionByClass.empty());
+    const auto &stats =
+        report.attributionByClass[0][static_cast<int>(
+            AttrComponent::RetryRecovery)];
+    EXPECT_GT(stats.count, 0);
+    EXPECT_GT(stats.max, 0.0);
+}
+
+TEST(FaultRecovery, DeadBoundaryLinkAbortsTransfersAndRetries)
+{
+    const Cluster cluster(4, 2, 300e9, 12.5e9, 212e12);
+    ServingConfig cfg;
+    cfg.model = mixtral8x7bE8K2();
+    cfg.policy = ServingPolicy::Disaggregated;
+    cfg.capacity = 4;
+    cfg.simulatedLayers = 2;
+    cfg.horizon = 3.0;
+    cfg.arrival.kind = ArrivalKind::Poisson;
+    cfg.arrival.ratePerSec = 25.0;
+    cfg.arrival.meanPrefillTokens = 128;
+    cfg.arrival.meanDecodeTokens = 16;
+    cfg.arrival.seed = 9;
+    cfg.batcher.tokenBudget = 8192;
+    cfg.batcher.prefillChunk = 512;
+    cfg.seed = 13;
+    cfg.faults.events.push_back({0.8, FaultKind::LinkDown, 0, 1.0});
+    cfg.faults.events.push_back({1.6, FaultKind::LinkUp, 0, 1.0});
+    ServingSimulator sim(cluster, cfg);
+    const ServingReport report = sim.run();
+
+    EXPECT_GT(report.availability.transfersAborted, 0);
+    EXPECT_EQ(report.offered,
+              report.completed + report.availability.requestsFailed);
+    EXPECT_EQ(report.availability.requestsFailed, 0);
+    EXPECT_GT(report.availability.requestsRetried, 0);
+}
+
+TEST(FaultRecovery, DeviceFailureShrinksPoolInsteadOfAborting)
+{
+    const Cluster cluster(2, 4, 300e9, 12.5e9, 212e12);
+    ServingConfig cfg = faultReplicaConfig(25.0);
+    cfg.hbmPerDevice = 30LL << 30; // byte-accounted KV pools
+    cfg.faults.events.push_back({1.0, FaultKind::DeviceFail, 0, 2.0});
+    ServingSimulator sim(cluster, cfg);
+
+    ServingConfig healthy = cfg;
+    healthy.faults = FaultConfig{};
+    ServingSimulator base(cluster, healthy);
+    const Bytes full_budget = base.engine(0).batcher().kvBudgetBytes();
+
+    const ServingReport report = sim.run();
+    // 2 of 4 devices dead: the slice's budget re-derives from the
+    // survivors instead of the run aborting.
+    EXPECT_EQ(sim.engine(0).batcher().kvBudgetBytes(),
+              full_budget / 2);
+    EXPECT_EQ(report.offered,
+              report.completed + report.availability.requestsFailed);
+    EXPECT_EQ(report.availability.faultsInjected, 1);
+}
+
+TEST(FaultRecovery, FaultedRunIsDeterministic)
+{
+    const Cluster cluster(2, 4, 300e9, 12.5e9, 212e12);
+    ServingConfig cfg = faultReplicaConfig(30.0);
+    cfg.faults.mtbf = 1.0;
+    cfg.faults.mttr = 0.4;
+    cfg.faults.seed = 3;
+    ServingSimulator a(cluster, cfg);
+    ServingSimulator b(cluster, cfg);
+    const ServingReport ra = a.run();
+    const ServingReport rb = b.run();
+
+    EXPECT_EQ(ra.offered, rb.offered);
+    EXPECT_EQ(ra.completed, rb.completed);
+    EXPECT_EQ(ra.steps, rb.steps);
+    EXPECT_EQ(ra.availability.requestsRetried,
+              rb.availability.requestsRetried);
+    EXPECT_EQ(ra.availability.requestsFailed,
+              rb.availability.requestsFailed);
+    EXPECT_DOUBLE_EQ(ra.elapsed, rb.elapsed);
+    EXPECT_DOUBLE_EQ(ra.goodputTps, rb.goodputTps);
+    EXPECT_DOUBLE_EQ(ra.availability.mttrMean,
+                     rb.availability.mttrMean);
+}
+
+TEST(FaultRecovery, AutoscalerRebuildsDeadReplicaAndClosesMttr)
+{
+    const Cluster cluster(2, 4, 300e9, 12.5e9, 212e12);
+    ServingConfig cfg = faultReplicaConfig(40.0);
+    cfg.horizon = 6.0;
+    // No scripted repair: replacing the dead replica is the
+    // autoscaler's job (capacity loss -> spin-up), and the rebuild
+    // closes the same MTTR clock a scripted repair would.
+    cfg.faults.events.push_back({1.0, FaultKind::ReplicaFail, 1, 1.0});
+    ServingSimulator sim(cluster, cfg);
+    ControlLoopConfig loop_cfg;
+    loop_cfg.interval = 0.5;
+    loop_cfg.kind = AutoscalerKind::ThresholdHysteresis;
+    loop_cfg.autoscaler.minReplicas = 1;
+    loop_cfg.autoscaler.maxReplicas = 2;
+    loop_cfg.autoscaler.cooldownWindows = 0;
+    ControlLoop loop(sim, loop_cfg);
+    const ServingReport report = loop.run();
+
+    EXPECT_EQ(report.availability.repairs, 1);
+    EXPECT_GT(report.availability.mttrMean, 0.0);
+    EXPECT_EQ(report.offered,
+              report.completed + report.availability.requestsFailed);
+    // The loop's telemetry saw the outage.
+    bool saw_dead = false;
+    for (const TelemetryWindow &w : loop.telemetry().history())
+        saw_dead = saw_dead || w.deadReplicas > 0;
+    EXPECT_TRUE(saw_dead);
+    // The rebuild is a scale-up "replicas" event after the kill.
+    bool rebuilt = false;
+    for (const ScalingEvent &e : report.scalingEvents)
+        rebuilt = rebuilt || (e.action == "replicas" &&
+                              e.requested >= 1.0 && e.after > e.before);
+    EXPECT_TRUE(rebuilt);
+}
+
+TEST(FaultRecovery, DisabledFaultsLeaveReportUntouched)
+{
+    const Cluster cluster(2, 4, 300e9, 12.5e9, 212e12);
+    const ServingConfig cfg = faultReplicaConfig(20.0);
+    ServingSimulator sim(cluster, cfg);
+    const ServingReport report = sim.run();
+    EXPECT_EQ(report.availability.faultsInjected, 0);
+    EXPECT_EQ(report.availability.requestsRetried, 0);
+    EXPECT_EQ(report.availability.requestsFailed, 0);
+    EXPECT_EQ(report.availability.degradedSeconds, 0.0);
+    EXPECT_TRUE(report.availability.timeline.empty());
+}
+
+} // namespace
+} // namespace laer

@@ -20,12 +20,15 @@
  *   --metrics-out=F append every captured run's checkpoint snapshots
  *                   as JSONL keyed by the same run label
  *
- * Cross-process golden files (difftest/golden.hh): the canonical
- * default-path scenario frozen to disk, so another process — a future
- * commit, another build — can be diffed against this one:
- *   --record-golden=F  run the canonical scenario, write F, exit
- *   --check-golden=F   re-run it and diff against F (exit 1 on any
- *                      divergence — the byte-stability gate)
+ * Cross-process golden files (difftest/golden.hh): a canonical
+ * scenario per policy family frozen to disk, so another process — a
+ * future commit, another build — can be diffed against this one:
+ *   --record-golden=F      run the canonical scenario, write F, exit
+ *   --check-golden=F       re-run it and diff against F (exit 1 on
+ *                          any divergence — the byte-stability gate)
+ *   --golden-scenario=FAM  which family's canonical scenario the
+ *                          golden flags run: laer (default),
+ *                          staticep, flexmoe, disagg
  *
  * Exit status: 0 when every replay passed, 1 otherwise — so CI can
  * gate on the campaign and upload the JSON artifact on failure.
@@ -102,7 +105,8 @@ main(int argc, char **argv)
     const CliArgs args(argc, argv,
                        {"seed", "runs", "lane", "report-out",
                         "no-shrink", "list-lanes", "record-golden",
-                        "check-golden", "trace-out", "metrics-out"});
+                        "check-golden", "golden-scenario", "trace-out",
+                        "metrics-out"});
 
     // Campaign observability: every captured serving run shares one
     // trace recorder and one JSONL sink, keyed by scenario seed and
@@ -121,6 +125,10 @@ main(int argc, char **argv)
     }
     setCaptureObservability(sinks);
 
+    std::string family = args.get("golden-scenario");
+    if (family.empty())
+        family = "laer";
+
     if (args.has("record-golden")) {
         std::ofstream out(args.get("record-golden"));
         if (!out) {
@@ -128,9 +136,10 @@ main(int argc, char **argv)
                       << "\n";
             return 2;
         }
-        writeGoldenJson(out, captureGoldenStream());
-        std::cout << "golden: recorded canonical scenario to "
-                  << args.get("record-golden") << "\n";
+        writeGoldenJson(out, captureGoldenStream(family));
+        std::cout << "golden: recorded canonical " << family
+                  << " scenario to " << args.get("record-golden")
+                  << "\n";
         return 0;
     }
     if (args.has("check-golden")) {
@@ -141,7 +150,7 @@ main(int argc, char **argv)
             return 2;
         }
         const SnapshotStream golden = readGoldenJson(in);
-        const DiffReport report = checkAgainstGolden(golden);
+        const DiffReport report = checkAgainstGolden(golden, family);
         std::cout << report.toText();
         if (report.identical()) {
             std::cout << "golden: " << report.snapshotsCompared
